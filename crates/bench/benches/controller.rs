@@ -1,0 +1,114 @@
+//! Criterion benchmarks for the FasTrak controller's per-interval work:
+//! measurement-engine folding, decision-engine ranking/selection, rule
+//! synthesis, and the FPS split. These bound how many flows a single TOR
+//! controller can manage per control interval (scalability, §4.3.3).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+
+use fastrak::de::{DeConfig, DecisionEngine};
+use fastrak::fps::{fps_split, FpsConfig, FpsInput};
+use fastrak::me::{AggDemand, MeasurementEngine};
+use fastrak::rules::RuleManager;
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_net::ctrl::FlowStatEntry;
+use fastrak_net::flow::{FlowAggregate, FlowKey, Proto};
+
+fn flow(i: u32) -> FlowKey {
+    FlowKey {
+        tenant: TenantId(1 + (i % 64)),
+        src_ip: Ip(0x0a000000 | (i & 0x3fff)),
+        dst_ip: Ip(0x0a100000 | ((i * 7) & 0x3fff)),
+        proto: Proto::Tcp,
+        src_port: (30_000 + (i % 30_000)) as u16,
+        dst_port: (i % 500) as u16,
+    }
+}
+
+fn stats(n: usize) -> Vec<FlowStatEntry> {
+    (0..n as u32)
+        .map(|i| FlowStatEntry {
+            key: flow(i),
+            packets: 1_000 + i as u64 * 13,
+            bytes: 100_000 + i as u64 * 997,
+        })
+        .collect()
+}
+
+fn demands(n: usize) -> Vec<AggDemand> {
+    (0..n as u32)
+        .map(|i| AggDemand {
+            agg: FlowAggregate::dst_of(&flow(i)),
+            pps: (i as f64 * 17.0) % 50_000.0,
+            bps: 1e6,
+            n_active: 1 + i % 6,
+            m_pps: (i as f64 * 13.0) % 40_000.0,
+            m_bps: 1e6,
+        })
+        .collect()
+}
+
+fn bench_me_fold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("measurement_engine_epoch");
+    for &n in &[100usize, 1_000, 10_000] {
+        let dump = stats(n);
+        g.bench_with_input(BenchmarkId::new("flows", n), &n, |b, _| {
+            b.iter(|| {
+                let mut me = MeasurementEngine::new(0.1, 6);
+                me.epoch_sample_a(black_box(&dump));
+                me.epoch_sample_b(black_box(&dump));
+                black_box(me.report())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_de_decide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decision_engine_decide");
+    for &n in &[100usize, 1_000, 10_000] {
+        let d = demands(n);
+        let de = DecisionEngine::new(DeConfig::paper());
+        let offloaded: HashSet<FlowAggregate> =
+            d.iter().take(n / 10).map(|x| x.agg).collect();
+        g.bench_with_input(BenchmarkId::new("aggregates", n), &n, |b, _| {
+            b.iter(|| black_box(de.decide(black_box(&d), &offloaded, 256)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rule_synthesis(c: &mut Criterion) {
+    let rm = RuleManager::new();
+    let agg = FlowAggregate::dst_of(&flow(7));
+    c.bench_function("rule_synthesis_default_policy", |b| {
+        b.iter(|| black_box(rm.synthesize(&agg, 10).unwrap()));
+    });
+}
+
+fn bench_fps(c: &mut Criterion) {
+    let cfg = FpsConfig::default();
+    c.bench_function("fps_split", |b| {
+        b.iter(|| {
+            black_box(fps_split(
+                &cfg,
+                FpsInput {
+                    limit_bps: 1_000_000_000,
+                    sw_demand_bps: 123e6,
+                    hw_demand_bps: 789e6,
+                    sw_maxed: false,
+                    hw_maxed: true,
+                },
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_me_fold,
+    bench_de_decide,
+    bench_rule_synthesis,
+    bench_fps
+);
+criterion_main!(benches);

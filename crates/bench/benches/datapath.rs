@@ -1,0 +1,144 @@
+//! Criterion benchmarks for the simulated data plane itself: wire-header
+//! codecs, the vswitch decision path, the DES kernel's event throughput,
+//! and a full end-to-end simulated second of RR traffic (the cost of
+//! running the reproduction, not of the modelled system).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use fastrak_net::addr::{Ip, Mac, TenantId};
+use fastrak_net::flow::{FlowKey, Proto};
+use fastrak_net::packet::{Encap, L4Meta, Packet};
+use fastrak_sim::kernel::{Api, Kernel, Node};
+use fastrak_sim::time::{SimDuration, SimTime};
+
+fn flow() -> FlowKey {
+    FlowKey {
+        tenant: TenantId(3),
+        src_ip: Ip::new(10, 0, 0, 1),
+        dst_ip: Ip::new(10, 0, 0, 2),
+        proto: Proto::Tcp,
+        src_port: 40_000,
+        dst_port: 11_211,
+    }
+}
+
+fn bench_header_codec(c: &mut Criterion) {
+    let mut p = Packet::new(
+        1,
+        flow(),
+        L4Meta::Tcp {
+            seq: 1,
+            ack: 2,
+            flags: 0x18,
+        },
+        1448,
+        SimTime::ZERO,
+    );
+    p.encap(Encap::Vxlan {
+        vni: 3,
+        src: Ip::provider_server(0, 1),
+        dst: Ip::provider_server(0, 2),
+    });
+    c.bench_function("encode_wire_vxlan_1448B", |b| {
+        b.iter(|| black_box(p.encode_wire(Mac::local(1), Mac::local(2))));
+    });
+    let bytes = {
+        let mut q = p.clone();
+        q.decap();
+        q.encode_wire(Mac::local(1), Mac::local(2))
+    };
+    c.bench_function("decode_wire_plain_1448B", |b| {
+        b.iter(|| black_box(Packet::decode_wire(TenantId(3), &bytes).unwrap()));
+    });
+}
+
+fn bench_vswitch_process(c: &mut Criterion) {
+    use fastrak_host::vswitch::{Vswitch, VswitchConfig};
+    let mut vs = Vswitch::new(VswitchConfig::default());
+    vs.attach_vif(TenantId(3), Ip::new(10, 0, 0, 1));
+    let k = flow();
+    vs.process_tx(&k, 1500); // warm the datapath cache
+    c.bench_function("vswitch_fast_path_tx", |b| {
+        b.iter(|| black_box(vs.process_tx(&k, 1500)));
+    });
+}
+
+struct Ping {
+    peer: usize,
+    left: u64,
+}
+impl Node<u64, ()> for Ping {
+    fn on_event(&mut self, ev: u64, api: &mut Api<'_, u64, ()>) {
+        if self.left > 0 {
+            self.left -= 1;
+            api.send(self.peer, SimDuration::from_micros(1), ev + 1);
+        }
+    }
+}
+
+fn bench_kernel_events(c: &mut Criterion) {
+    c.bench_function("des_kernel_100k_events", |b| {
+        b.iter(|| {
+            let mut k = Kernel::new((), 1);
+            let a = k.add_node(Ping {
+                peer: 1,
+                left: 50_000,
+            });
+            let bnode = k.add_node(Ping {
+                peer: a,
+                left: 50_000,
+            });
+            let _ = bnode;
+            k.post(a, SimTime::ZERO, 0);
+            k.run_to_completion();
+            black_box(k.events_processed())
+        });
+    });
+}
+
+fn bench_end_to_end_rr_second(c: &mut Criterion) {
+    use fastrak_host::vm::VmSpec;
+    use fastrak_workload::{RrClient, RrClientConfig, RrServer, RrServerConfig, Testbed, TestbedConfig};
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(8));
+    g.bench_function("simulate_1s_closed_loop_rr", |b| {
+        b.iter(|| {
+            let mut bed = Testbed::build(TestbedConfig {
+                n_servers: 2,
+                ..TestbedConfig::default()
+            });
+            bed.add_vm(
+                0,
+                VmSpec::large("srv", TenantId(1), Ip::tenant_vm(1)),
+                Box::new(RrServer::new(RrServerConfig {
+                    port: 7000,
+                    req_size: 64,
+                    resp_size: 64,
+                    service_cpu: SimDuration::ZERO,
+                })),
+            );
+            let cli = bed.add_vm(
+                1,
+                VmSpec::large("cli", TenantId(1), Ip::tenant_vm(2)),
+                Box::new(RrClient::new(RrClientConfig::closed_loop(
+                    Ip::tenant_vm(1),
+                    7000,
+                    64,
+                ))),
+            );
+            bed.start();
+            bed.run_until(SimTime::from_secs(1));
+            black_box(bed.app::<RrClient>(cli).completed())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_header_codec,
+    bench_vswitch_process,
+    bench_kernel_events,
+    bench_end_to_end_rr_second
+);
+criterion_main!(benches);

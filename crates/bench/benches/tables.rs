@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for the match tables on the per-packet hot
+//! path: the OVS kernel cache and flow placer (exact match, O(1) by
+//! design — §2.2) and the ToR's priority wildcard table.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_net::flow::{FlowKey, FlowSpec, Proto};
+use fastrak_net::tables::{ExactMatchTable, WildcardTable};
+
+fn key(i: u32) -> FlowKey {
+    FlowKey {
+        tenant: TenantId(1 + (i % 16)),
+        src_ip: Ip(0x0a000000 | (i & 0xffff)),
+        dst_ip: Ip(0x0a010000 | ((i >> 3) & 0xffff)),
+        proto: Proto::Tcp,
+        src_port: (40_000 + (i % 20_000)) as u16,
+        dst_port: 11_211,
+    }
+}
+
+fn bench_exact_match(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_match_lookup");
+    for &n in &[16usize, 1_024, 65_536] {
+        let mut t = ExactMatchTable::new();
+        for i in 0..n as u32 {
+            t.insert(key(i), i);
+        }
+        g.bench_with_input(BenchmarkId::new("hit", n), &n, |b, &n| {
+            let mut i = 0u32;
+            b.iter(|| {
+                i = (i + 1) % n as u32;
+                black_box(t.lookup(&key(i), 1500).copied())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("miss", n), &n, |b, &n| {
+            b.iter(|| black_box(t.lookup(&key(n as u32 + 7), 1500).copied()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_wildcard(c: &mut Criterion) {
+    // The paper's observation: 10,000 installed rules cost nothing on the
+    // fast path (hash hit) but the slow path scans linearly. The wildcard
+    // table is the slow-path/TCAM model.
+    let mut g = c.benchmark_group("wildcard_lookup");
+    for &n in &[10usize, 250, 2_048] {
+        let mut t = WildcardTable::new(n + 1);
+        for i in 0..n as u32 {
+            t.install(
+                FlowSpec {
+                    tenant: Some(TenantId(1 + (i % 16))),
+                    dst_port: Some((i % 60_000) as u16),
+                    ..FlowSpec::ANY
+                },
+                (i % 100) as u16,
+                i,
+            )
+            .unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| black_box(t.lookup(&key(3), 1500).copied()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_placer(c: &mut Criterion) {
+    use fastrak_host::bonding::FlowPlacer;
+    use fastrak_net::packet::PathTag;
+    let mut p = FlowPlacer::new();
+    for i in 0..64u32 {
+        p.install_rule(
+            FlowSpec {
+                tenant: Some(TenantId(1)),
+                dst_port: Some(10_000 + i as u16),
+                ..FlowSpec::ANY
+            },
+            10,
+            PathTag::SrIov,
+        );
+    }
+    // Warm the exact-match cache.
+    for i in 0..4_096u32 {
+        p.place(&key(i), 1500);
+    }
+    c.bench_function("flow_placer_cached_place", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 4_096;
+            black_box(p.place(&key(i), 1500))
+        });
+    });
+}
+
+criterion_group!(benches, bench_exact_match, bench_wildcard, bench_placer);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments all            # every artifact, quick mode
+//! experiments fig3 table4    # specific artifacts
+//! experiments all --full     # paper-duration runs (slow)
+//! experiments fig12 --csv    # also dump the Fig.12 seq trace as CSV
+//! experiments all --json out.json
+//! ```
+
+use std::io::Write;
+
+use fastrak_bench::experiments;
+use fastrak_bench::report::Artifact;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .cloned()
+        .collect();
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = experiments::all_ids().iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut artifacts: Vec<Artifact> = Vec::new();
+    for id in &ids {
+        eprintln!("running {id}{} ...", if full { " (full)" } else { "" });
+        let t0 = std::time::Instant::now();
+        match experiments::run(id, full) {
+            Some(arts) => {
+                eprintln!("  {id} done in {:.1}s", t0.elapsed().as_secs_f64());
+                for a in &arts {
+                    print!("{}", a.render());
+                }
+                artifacts.extend(arts);
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; known: {:?}", experiments::all_ids());
+                std::process::exit(2);
+            }
+        }
+        if id == "fig12" && csv {
+            let (_, points) = experiments::fig12::run_with_trace(full);
+            println!("\n# fig12 trace (seconds,seq)");
+            for (t, s) in points {
+                println!("{t:.6},{s}");
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let f = std::fs::File::create(&path).expect("create json output");
+        let mut w = std::io::BufWriter::new(f);
+        serde_json::to_writer_pretty(&mut w, &artifacts).expect("serialize artifacts");
+        w.flush().unwrap();
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,38 @@
+//! One module per regenerated table/figure of the paper's evaluation.
+//! See DESIGN.md's experiment index for the mapping.
+
+pub mod ablations;
+pub mod fig12;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+use crate::report::Artifact;
+
+/// Every experiment by id, in paper order.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4", "fig12",
+        "ablations",
+    ]
+}
+
+/// Run one experiment by id.
+pub fn run(id: &str, full: bool) -> Option<Vec<Artifact>> {
+    match id {
+        "fig3" => Some(fig3::run(full)),
+        "fig4" => Some(fig4::run(full)),
+        "fig5" => Some(fig5::run(full)),
+        "table1" => Some(table1::run(full)),
+        "table2" => Some(table2::run(full)),
+        "table3" => Some(table3::run(full)),
+        "table4" => Some(table4::run(full)),
+        "fig12" => Some(fig12::run(full)),
+        "ablations" => Some(ablations::run(full)),
+        _ => None,
+    }
+}

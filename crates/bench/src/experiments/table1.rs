@@ -1,0 +1,121 @@
+//! Table 1 — memcached transaction throughput (§6.1.1).
+//!
+//! Two memcached server VMs on the test server, five client servers running
+//! memslap for the measurement window; traffic routed via the VIF or via
+//! the SR-IOV VF. Variant (b) adds a third VM on the test server running
+//! the IOzone filesystem benchmark as background load.
+//!
+//! Paper values — (a): VIF 106,574 tps / 373 µs / 3.3 CPUs vs SR-IOV
+//! 215,288 tps / 192 µs / 3.2 CPUs; (b): VIF 96,093 / 414 / 4.1 vs SR-IOV
+//! 177,559 / 231 / 4.1.
+
+use fastrak_host::vm::VmSpec;
+use fastrak_net::addr::Ip;
+use fastrak_net::packet::PathTag;
+use fastrak_sim::time::SimTime;
+use fastrak_workload::{memcached_server, IoZone, MemslapClient, MemslapConfig, VmRef};
+
+use crate::report::{Artifact, Row};
+use crate::scenarios::{rack, TENANT};
+
+/// Measured cell: (aggregate TPS, mean latency µs, test-server CPUs).
+pub fn measure(sriov: bool, background: bool, quick: bool) -> (f64, f64, f64) {
+    let mut bed = rack(31);
+    // Paper §6.1.1: "three VMs pinned to four CPUs" on the test server —
+    // guest work and hypervisor packet processing share those cores.
+    bed.server_mut(0).set_pinned_cpus(Some(4));
+    let mc_ips = [Ip::tenant_vm(1), Ip::tenant_vm(2)];
+    let mut vms: Vec<VmRef> = Vec::new();
+    for (i, &ip) in mc_ips.iter().enumerate() {
+        vms.push(bed.add_vm(
+            0,
+            VmSpec::large(format!("mc{i}"), TENANT, ip),
+            Box::new(memcached_server()),
+        ));
+    }
+    if background {
+        bed.add_vm(
+            0,
+            VmSpec::large("iozone", TENANT, Ip::tenant_vm(3)),
+            Box::new(IoZone::paper_default()),
+        );
+    }
+    let mut clients: Vec<VmRef> = Vec::new();
+    for c in 0..5u16 {
+        let ip = Ip::tenant_vm(10 + c);
+        let mut cfg = MemslapConfig::paper(mc_ips.to_vec(), None);
+        // "Maximum transaction load" without driving the pinned CPUs to
+        // saturation (the paper measures 3.3 of the 4 pinned CPUs busy):
+        // the run is latency-bound, like Table 2.
+        cfg.conns_per_target = 2;
+        cfg.burst = 2;
+        cfg.src_port_base = 43_000 + c * 64;
+        let v = bed.add_vm(
+            (c % 5) as usize + 1,
+            VmSpec::large(format!("slap{c}"), TENANT, ip),
+            Box::new(MemslapClient::new(cfg)),
+        );
+        clients.push(v);
+        vms.push(v);
+    }
+    if sriov {
+        bed.authorize_hw_tenant(TENANT);
+        for &v in &vms {
+            bed.force_path(v, PathTag::SrIov);
+        }
+    }
+    bed.start();
+    let (warm_ms, window_ms) = if quick { (500, 4_000) } else { (1_000, 10_000) };
+    bed.run_until(SimTime::from_millis(warm_ms));
+    bed.begin_cpu_windows();
+    for &c in &clients {
+        let now = bed.now();
+        bed.server_mut(c.server)
+            .vm_mut(c.vm)
+            .app_as_mut::<MemslapClient>()
+            .begin_window(now);
+    }
+    bed.run_until(SimTime::from_millis(warm_ms + window_ms));
+    let now = bed.now();
+    let mut tps = 0.0;
+    let mut lat_weighted = 0.0;
+    let mut n = 0.0;
+    for &c in &clients {
+        let app = bed.app::<MemslapClient>(c);
+        let t = app.tps(now);
+        tps += t;
+        lat_weighted += app.latency.mean() / 1e3 * t;
+        n += t;
+    }
+    let mean_lat = if n > 0.0 { lat_weighted / n } else { 0.0 };
+    let cpus = bed.server(0).cpus_used(now);
+    (tps, mean_lat, cpus)
+}
+
+/// Regenerate Table 1(a) and 1(b).
+pub fn run(full: bool) -> Vec<Artifact> {
+    let mut a = Artifact::new(
+        "table1a",
+        "Memcached TPS, no background",
+        "the same two memcached servers serve ≈2× the requests at ≈½ the latency over SR-IOV, at comparable CPU",
+    );
+    let mut b = Artifact::new(
+        "table1b",
+        "Memcached TPS, with IOzone background",
+        "background load does not change the SR-IOV advantage",
+    );
+    for (art, background, paper) in [
+        (&mut a, false, [(106_574.0, 373.0, 3.3), (215_288.0, 192.0, 3.2)]),
+        (&mut b, true, [(96_093.0, 414.0, 4.1), (177_559.0, 231.0, 4.1)]),
+    ] {
+        for (sriov, (p_tps, p_lat, p_cpu)) in [(false, paper[0]), (true, paper[1])] {
+            let (tps, lat, cpus) = measure(sriov, background, !full);
+            let cfg = if sriov { "SR-IOV VF" } else { "VIF" };
+            art.push(Row::new("TPS", cfg, Some(p_tps), tps, "tps"));
+            art.push(Row::new("mean latency", cfg, Some(p_lat), lat, "us"));
+            art.push(Row::new("# CPUs (test server)", cfg, Some(p_cpu), cpus, "logical CPUs"));
+        }
+        art.note("paper runs memslap for 90 s; this harness uses a shorter stationary window (rates are unaffected)");
+    }
+    vec![a, b]
+}

@@ -1,0 +1,165 @@
+//! Comparison-row machinery: each experiment emits [`Row`]s pairing the
+//! paper's published value with the value measured on the simulated
+//! testbed, grouped into an [`Artifact`] (one table or figure).
+
+use std::fmt::Write as _;
+
+/// One reported value.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Row {
+    /// Metric name (e.g. "throughput").
+    pub metric: String,
+    /// Configuration label (e.g. "OVS+Tunneling @ 1448B").
+    pub config: String,
+    /// The paper's published value, if the text/figure gives one.
+    pub paper: Option<f64>,
+    /// Our measured value.
+    pub measured: f64,
+    /// Unit label.
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(
+        metric: impl Into<String>,
+        config: impl Into<String>,
+        paper: Option<f64>,
+        measured: f64,
+        unit: &'static str,
+    ) -> Row {
+        Row {
+            metric: metric.into(),
+            config: config.into(),
+            paper,
+            measured,
+            unit,
+        }
+    }
+}
+
+/// One regenerated table/figure.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Artifact {
+    /// Identifier, e.g. "fig3d" or "table2".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Qualitative shape statement being tested, from the paper's text.
+    pub shape: String,
+    /// The rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (scaling, substitutions).
+    pub notes: Vec<String>,
+}
+
+impl Artifact {
+    /// New empty artifact.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, shape: impl Into<String>) -> Artifact {
+        Artifact {
+            id: id.into(),
+            title: title.into(),
+            shape: shape.into(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Add a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Add a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} — {} ===", self.id, self.title);
+        let _ = writeln!(out, "shape target: {}", self.shape);
+        let w_metric = self
+            .rows
+            .iter()
+            .map(|r| r.metric.len())
+            .chain(["metric".len()])
+            .max()
+            .unwrap_or(6);
+        let w_config = self
+            .rows
+            .iter()
+            .map(|r| r.config.len())
+            .chain(["config".len()])
+            .max()
+            .unwrap_or(6);
+        let _ = writeln!(
+            out,
+            "{:w_metric$}  {:w_config$}  {:>12}  {:>12}  unit",
+            "metric", "config", "paper", "measured"
+        );
+        for r in &self.rows {
+            let paper = match r.paper {
+                Some(v) => format_val(v),
+                None => "-".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:w_metric$}  {:w_config$}  {:>12}  {:>12}  {}",
+                r.metric,
+                r.config,
+                paper,
+                format_val(r.measured),
+                r.unit
+            );
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+}
+
+fn format_val(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v.abs() >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v.abs() >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else if v.abs() < 10.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut a = Artifact::new("t1", "Test", "x beats y");
+        a.push(Row::new("tps", "VIF", Some(106_574.0), 95_000.0, "tps"));
+        a.push(Row::new("latency", "SR-IOV", None, 190.5, "us"));
+        a.note("scaled run");
+        let s = a.render();
+        assert!(s.contains("t1"));
+        assert!(s.contains("106.6k"));
+        assert!(s.contains("190.5"));
+        assert!(s.contains("scaled run"));
+        assert!(s.contains('-'), "missing paper values render as '-'");
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_val(9.4e9), "9.40G");
+        assert_eq!(format_val(34_000.0), "34.0k");
+        assert_eq!(format_val(2.5), "2.50");
+        assert_eq!(format_val(331.0), "331.0");
+    }
+}

@@ -1,0 +1,193 @@
+//! Shared testbed scenarios.
+//!
+//! * [`MicroBed`] — the §3.1 microbenchmark pair: one client VM and one
+//!   server VM on two servers, in any of the paper's path configurations;
+//! * [`memcached_rack`] — the §6 rack: a test server hosting memcached VMs
+//!   plus five client servers running memslap.
+
+use fastrak_host::app::GuestApp;
+use fastrak_host::vm::VmSpec;
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_net::ctrl::Dir;
+use fastrak_net::packet::PathTag;
+use fastrak_sim::time::SimTime;
+use fastrak_workload::{Testbed, TestbedConfig, VmRef};
+
+/// The evaluation tenant.
+pub const TENANT: TenantId = TenantId(1);
+
+/// The paper's path configurations (§3.2 / Fig. 3-5 legends).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathSetup {
+    /// Baseline OVS: software path, no tunneling, no rate limit.
+    BaselineOvs,
+    /// 'OVS+Tunneling': software path with VXLAN.
+    OvsTunnel,
+    /// 'OVS+Rate limiting': software path with a VIF limit (bps).
+    OvsRateLimit(u64),
+    /// Hypervisor bypass via SR-IOV, unlimited.
+    Sriov,
+    /// Combined software functionality: VXLAN + VIF limit.
+    OvsTunnelRateLimit(u64),
+    /// SR-IOV with the hardware rate limit enforced at the ToR.
+    SriovHwLimit(u64),
+}
+
+impl PathSetup {
+    /// Label used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PathSetup::BaselineOvs => "Baseline OVS",
+            PathSetup::OvsTunnel => "OVS+Tunneling",
+            PathSetup::OvsRateLimit(_) => "OVS+Rate limiting",
+            PathSetup::Sriov => "SR-IOV",
+            PathSetup::OvsTunnelRateLimit(_) => "OVS+Tun+RL",
+            PathSetup::SriovHwLimit(_) => "SR-IOV (hw RL)",
+        }
+    }
+
+    /// Does this setup need vswitch tunneling enabled at build time?
+    pub fn tunneling(self) -> bool {
+        matches!(
+            self,
+            PathSetup::OvsTunnel | PathSetup::OvsTunnelRateLimit(_)
+        )
+    }
+
+    /// Does traffic ride the SR-IOV path?
+    pub fn is_sriov(self) -> bool {
+        matches!(self, PathSetup::Sriov | PathSetup::SriovHwLimit(_))
+    }
+}
+
+/// A two-server microbenchmark bed.
+pub struct MicroBed {
+    /// The testbed.
+    pub bed: Testbed,
+    /// Client VM (on server 0).
+    pub client: VmRef,
+    /// Server VM (on server 1).
+    pub server: VmRef,
+}
+
+/// Client/server VM IPs used by the micro bed.
+pub const CLIENT_IP: Ip = Ip(0x0a000001); // 10.0.0.1
+/// Server VM IP.
+pub const SERVER_IP: Ip = Ip(0x0a000002); // 10.0.0.2
+
+/// Build the §3.1 pair in the given path setup.
+pub fn micro_bed(
+    setup: PathSetup,
+    client_app: Box<dyn GuestApp>,
+    server_app: Box<dyn GuestApp>,
+    seed: u64,
+) -> MicroBed {
+    let mut bed = Testbed::build(TestbedConfig {
+        n_servers: 2,
+        tunneling: setup.tunneling(),
+        seed,
+        ..TestbedConfig::default()
+    });
+    let client = bed.add_vm(
+        0,
+        VmSpec::large("client", TENANT, CLIENT_IP),
+        client_app,
+    );
+    let server = bed.add_vm(
+        1,
+        VmSpec::large("server", TENANT, SERVER_IP),
+        server_app,
+    );
+    apply_setup(&mut bed, setup, &[client, server]);
+    MicroBed {
+        bed,
+        client,
+        server,
+    }
+}
+
+/// Apply a path setup to a set of VMs on an already-built bed.
+pub fn apply_setup(bed: &mut Testbed, setup: PathSetup, vms: &[VmRef]) {
+    match setup {
+        PathSetup::BaselineOvs | PathSetup::OvsTunnel => {}
+        PathSetup::OvsRateLimit(bps) | PathSetup::OvsTunnelRateLimit(bps) => {
+            for &v in vms {
+                bed.set_vif_rate(v, Dir::Egress, bps);
+                bed.set_vif_rate(v, Dir::Ingress, bps);
+            }
+        }
+        PathSetup::Sriov => {}
+        PathSetup::SriovHwLimit(bps) => {
+            for &v in vms {
+                bed.set_hw_rate(v, Dir::Egress, bps);
+                bed.set_hw_rate(v, Dir::Ingress, bps);
+            }
+        }
+    }
+    if setup.is_sriov() {
+        bed.authorize_hw_tenant(TENANT);
+        for &v in vms {
+            bed.force_path(v, PathTag::SrIov);
+        }
+    }
+}
+
+/// Warm up, open a measurement window, run, and return the window's end.
+/// `warm` and `measure` are in milliseconds.
+pub fn warm_and_measure(
+    bed: &mut Testbed,
+    warm_ms: u64,
+    measure_ms: u64,
+    mut at_window_start: impl FnMut(&mut Testbed),
+) -> SimTime {
+    bed.run_until(SimTime::from_millis(warm_ms));
+    bed.begin_cpu_windows();
+    at_window_start(bed);
+    let end = SimTime::from_millis(warm_ms + measure_ms);
+    bed.run_until(end);
+    end
+}
+
+/// The §6 memcached rack: `n_mc` memcached VMs (+ optional extra VMs) on
+/// the test server (index 0), and five client servers. The caller places
+/// apps itself; this only builds the empty rack.
+pub fn rack(seed: u64) -> Testbed {
+    Testbed::build(TestbedConfig {
+        n_servers: 6,
+        tunneling: false,
+        seed,
+        ..TestbedConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastrak_workload::{StreamConfig, StreamSender, StreamSink};
+
+    #[test]
+    fn micro_bed_builds_all_setups() {
+        for setup in [
+            PathSetup::BaselineOvs,
+            PathSetup::OvsTunnel,
+            PathSetup::OvsRateLimit(10_000_000_000),
+            PathSetup::Sriov,
+            PathSetup::OvsTunnelRateLimit(1_000_000_000),
+            PathSetup::SriovHwLimit(1_000_000_000),
+        ] {
+            let mb = micro_bed(
+                setup,
+                Box::new(StreamSender::new(StreamConfig::netperf(SERVER_IP, 5001, 1448))),
+                Box::new(StreamSink::new(5001)),
+                1,
+            );
+            assert_eq!(mb.bed.vms().len(), 2, "{setup:?}");
+        }
+    }
+
+    #[test]
+    fn ip_constants_match_helpers() {
+        assert_eq!(CLIENT_IP, Ip::new(10, 0, 0, 1));
+        assert_eq!(SERVER_IP, Ip::new(10, 0, 0, 2));
+    }
+}

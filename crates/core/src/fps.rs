@@ -1,0 +1,203 @@
+//! Flow Proportional Share rate splitting (paper §4.1.4, §4.3.2).
+//!
+//! FasTrak exposes two interfaces per VM, so a per-VM rate limit can no
+//! longer be enforced at one aggregation point. The limit `L` is split into
+//! `Ls` (VIF) and `Lh` (SR-IOV VF), each padded with an **overflow
+//! allowance** `O`, so `Rs = Ls + O` and `Rh = Lh + O`. The split follows
+//! FPS (Raghavan et al., SIGCOMM'07): each limiter's share is proportional
+//! to its measured demand; a limiter observed *maxed out* (its traffic
+//! flat-lined at its limit) is treated as having more demand than measured,
+//! which is exactly what the overflow headroom detects — "when the capacity
+//! required on the interface is higher than the rate limit, the flows will
+//! max out the rate limit imposed. FPS uses this information to re-adjust."
+//!
+//! Adaptation note (DESIGN.md): the original FPS weights by *flow count*
+//! for TCP-fairness across sites; within one VM, demand-proportional
+//! weighting with max-out escalation preserves the property that matters
+//! here — the aggregate of both limiters never exceeds `L + 2O`, while each
+//! side gets capacity proportional to where the traffic actually is.
+
+/// Input to one FPS computation for one (VM, direction).
+#[derive(Debug, Clone, Copy)]
+pub struct FpsInput {
+    /// The tenant's total limit for this VM/direction (bits/sec).
+    pub limit_bps: u64,
+    /// Measured software-path demand (bits/sec).
+    pub sw_demand_bps: f64,
+    /// Measured hardware-path demand (bits/sec).
+    pub hw_demand_bps: f64,
+    /// The software limiter was maxed out last interval.
+    pub sw_maxed: bool,
+    /// The hardware limiter was maxed out last interval.
+    pub hw_maxed: bool,
+}
+
+/// Result: the two limits, overflow already included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpsSplit {
+    /// VIF limit `Rs = Ls + O`.
+    pub sw_bps: u64,
+    /// VF limit `Rh = Lh + O`.
+    pub hw_bps: u64,
+}
+
+/// FPS configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FpsConfig {
+    /// Overflow allowance as a fraction of `L` (the paper's `O`).
+    pub overflow_frac: f64,
+    /// Minimum share fraction per side (keeps a cold path usable so demand
+    /// can be *observed* there at all).
+    pub min_share: f64,
+    /// Escalation multiplier applied to the demand of a maxed-out side.
+    pub maxed_boost: f64,
+}
+
+impl Default for FpsConfig {
+    fn default() -> Self {
+        FpsConfig {
+            overflow_frac: 0.05,
+            min_share: 0.05,
+            maxed_boost: 1.5,
+        }
+    }
+}
+
+/// Compute the split.
+pub fn fps_split(cfg: &FpsConfig, input: FpsInput) -> FpsSplit {
+    let l = input.limit_bps as f64;
+    let mut ds = input.sw_demand_bps.max(0.0);
+    let mut dh = input.hw_demand_bps.max(0.0);
+    if input.sw_maxed {
+        ds *= cfg.maxed_boost;
+    }
+    if input.hw_maxed {
+        dh *= cfg.maxed_boost;
+    }
+    let total = ds + dh;
+    let share_s = if total <= 0.0 {
+        0.5
+    } else {
+        (ds / total).clamp(cfg.min_share, 1.0 - cfg.min_share)
+    };
+    let overflow = l * cfg.overflow_frac;
+    let ls = l * share_s;
+    let lh = l - ls;
+    FpsSplit {
+        sw_bps: (ls + overflow).round() as u64,
+        hw_bps: (lh + overflow).round() as u64,
+    }
+}
+
+/// Was a limiter "maxed out"? True when the measured rate reached at least
+/// `frac` of its configured limit.
+pub fn is_maxed(measured_bps: f64, limit_bps: u64, frac: f64) -> bool {
+    limit_bps > 0 && measured_bps >= frac * limit_bps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FpsConfig {
+        FpsConfig::default()
+    }
+
+    #[test]
+    fn split_proportional_to_demand() {
+        let s = fps_split(
+            &cfg(),
+            FpsInput {
+                limit_bps: 1_000_000_000,
+                sw_demand_bps: 100e6,
+                hw_demand_bps: 900e6,
+                sw_maxed: false,
+                hw_maxed: false,
+            },
+        );
+        // hw gets ~90% + overflow.
+        assert!(s.hw_bps > 900_000_000, "{s:?}");
+        assert!(s.sw_bps < 200_000_000, "{s:?}");
+    }
+
+    #[test]
+    fn aggregate_bounded_by_l_plus_2o() {
+        let l = 1_000_000_000u64;
+        for (ds, dh) in [(0.0, 0.0), (1e9, 0.0), (5e8, 5e8), (0.0, 1e9)] {
+            let s = fps_split(
+                &cfg(),
+                FpsInput {
+                    limit_bps: l,
+                    sw_demand_bps: ds,
+                    hw_demand_bps: dh,
+                    sw_maxed: false,
+                    hw_maxed: false,
+                },
+            );
+            let bound = (l as f64 * (1.0 + 2.0 * cfg().overflow_frac)) as u64 + 2;
+            assert!(s.sw_bps + s.hw_bps <= bound, "{s:?} exceeds {bound}");
+        }
+    }
+
+    #[test]
+    fn no_demand_splits_evenly() {
+        let s = fps_split(
+            &cfg(),
+            FpsInput {
+                limit_bps: 1_000_000_000,
+                sw_demand_bps: 0.0,
+                hw_demand_bps: 0.0,
+                sw_maxed: false,
+                hw_maxed: false,
+            },
+        );
+        assert!((s.sw_bps as i64 - s.hw_bps as i64).abs() < 2);
+    }
+
+    #[test]
+    fn min_share_keeps_cold_path_alive() {
+        let s = fps_split(
+            &cfg(),
+            FpsInput {
+                limit_bps: 1_000_000_000,
+                sw_demand_bps: 0.0,
+                hw_demand_bps: 1e9,
+                sw_maxed: false,
+                hw_maxed: false,
+            },
+        );
+        assert!(s.sw_bps >= 50_000_000, "cold path keeps min share: {s:?}");
+    }
+
+    #[test]
+    fn maxed_side_gains_share() {
+        let base = fps_split(
+            &cfg(),
+            FpsInput {
+                limit_bps: 1_000_000_000,
+                sw_demand_bps: 500e6,
+                hw_demand_bps: 500e6,
+                sw_maxed: false,
+                hw_maxed: false,
+            },
+        );
+        let boosted = fps_split(
+            &cfg(),
+            FpsInput {
+                limit_bps: 1_000_000_000,
+                sw_demand_bps: 500e6,
+                hw_demand_bps: 500e6,
+                sw_maxed: false,
+                hw_maxed: true,
+            },
+        );
+        assert!(boosted.hw_bps > base.hw_bps);
+    }
+
+    #[test]
+    fn maxed_detection() {
+        assert!(is_maxed(960e6, 1_000_000_000, 0.95));
+        assert!(!is_maxed(900e6, 1_000_000_000, 0.95));
+        assert!(!is_maxed(1e9, 0, 0.95));
+    }
+}

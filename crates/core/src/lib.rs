@@ -1,0 +1,172 @@
+//! # fastrak
+//!
+//! The paper's primary contribution: the FasTrak rule-management system —
+//! a distributed controller that splits network-virtualization rules
+//! between the hypervisor vswitch and switch hardware, migrating the rules
+//! for the highest-packets-per-second flow aggregates into the ToR's
+//! bounded fast path and back as traffic changes.
+//!
+//! * [`me`] — the Measurement Engine (Δp/t, Δb/t epochs, per-VM-per-app
+//!   aggregation, median history, demand profiles);
+//! * [`de`] — the Decision Engine (`S = n × m_pps × c` ranking under the
+//!   fast-path budget, hysteresis, all-or-nothing groups);
+//! * [`rules`] — the unified rule manager (most-specific hardware rule
+//!   synthesis, deny-overlap safety);
+//! * [`fps`] — the Flow Proportional Share split of per-VM rate limits
+//!   across the two interfaces, with overflow probing;
+//! * [`local`] / [`tor_ctrl`] — the controller processes, wired as DES
+//!   nodes speaking the OpenFlow-style control protocol of `fastrak-net`;
+//! * [`attach`] — one call to deploy FasTrak onto a
+//!   [`fastrak_workload::Testbed`].
+
+pub mod de;
+pub mod fps;
+pub mod local;
+pub mod me;
+pub mod protocol;
+pub mod rules;
+pub mod tor_ctrl;
+
+pub use de::{DeConfig, Decision, DecisionEngine};
+pub use fps::{fps_split, FpsConfig, FpsInput, FpsSplit};
+pub use local::{LocalController, LocalControllerConfig, Timing};
+pub use me::{AggDemand, MeasurementEngine, VmDemandProfile};
+pub use protocol::{DemandReport, MigrationPrepare, OffloadDecision, VmLimit};
+pub use rules::{RuleManager, SynthesisError};
+pub use tor_ctrl::{TorController, TorControllerConfig};
+
+use fastrak_net::event::{CtlMsg, Event};
+use fastrak_sim::kernel::NodeId;
+use fastrak_sim::time::SimTime;
+use fastrak_workload::Testbed;
+
+/// FasTrak deployment configuration.
+pub struct FasTrakConfig {
+    /// Measurement timing (`t`, `T`, `N`, `M`).
+    pub timing: Timing,
+    /// Decision engine settings.
+    pub de: DeConfig,
+    /// FPS settings.
+    pub fps: FpsConfig,
+    /// Per-VM rate limits.
+    pub limits: Vec<VmLimit>,
+    /// Fast-path entries the controller may use.
+    pub budget: usize,
+    /// Tenant policies for rule synthesis.
+    pub rule_manager: RuleManager,
+}
+
+impl Default for FasTrakConfig {
+    fn default() -> Self {
+        FasTrakConfig {
+            timing: Timing::fine(),
+            de: DeConfig::paper(),
+            fps: FpsConfig::default(),
+            limits: Vec::new(),
+            budget: 256,
+            rule_manager: RuleManager::new(),
+        }
+    }
+}
+
+/// Handles to a deployed FasTrak instance.
+pub struct FasTrak {
+    /// The TOR controller node.
+    pub tor_ctrl: NodeId,
+    /// Local controller nodes, indexed like the testbed's servers.
+    pub locals: Vec<NodeId>,
+}
+
+/// Deploy FasTrak onto a testbed: one local controller per server, one TOR
+/// controller for the rack. Call [`FasTrak::start`] (before or after
+/// `Testbed::start`) to begin the measurement loops.
+pub fn attach(bed: &mut Testbed, cfg: FasTrakConfig) -> FasTrak {
+    // Collect per-server VM lists first (immutably).
+    let n = bed.servers.len();
+    let mut per_server_vms: Vec<Vec<(fastrak_net::addr::TenantId, fastrak_net::addr::Ip)>> =
+        vec![Vec::new(); n];
+    for v in bed.vms() {
+        per_server_vms[v.server].push((v.tenant, v.ip));
+    }
+    let server_ips: Vec<fastrak_net::addr::Ip> =
+        (0..n).map(|i| bed.server(i).cfg.provider_ip).collect();
+
+    // Create the TOR controller first so locals can reference it.
+    let tor_node = bed.tor;
+    let tor_ctrl = bed.kernel.add_node(TorController::new(TorControllerConfig {
+        tor: tor_node,
+        locals: Vec::new(), // patched below
+        timing: cfg.timing,
+        de: cfg.de,
+        budget: cfg.budget,
+        demote_grace: fastrak_sim::time::SimDuration::from_millis(50),
+        rule_manager: cfg.rule_manager,
+    }));
+
+    let mut locals = Vec::new();
+    for i in 0..n {
+        let limits = cfg
+            .limits
+            .iter()
+            .copied()
+            .filter(|l| per_server_vms[i].contains(&(l.tenant, l.vm_ip)))
+            .collect();
+        let id = bed
+            .kernel
+            .add_node(LocalController::new(LocalControllerConfig {
+                server: bed.servers[i],
+                server_ip: server_ips[i],
+                tor_ctrl,
+                tor: tor_node,
+                timing: cfg.timing,
+                vms: per_server_vms[i].clone(),
+                limits,
+                fps: cfg.fps,
+            }));
+        locals.push(id);
+    }
+    bed.kernel
+        .node_mut::<TorController>(tor_ctrl)
+        .set_locals(locals.clone());
+    FasTrak { tor_ctrl, locals }
+}
+
+impl FasTrak {
+    /// Start the measurement/decision loops at the current simulated time.
+    pub fn start(&self, bed: &mut Testbed) {
+        let now = bed.kernel.now();
+        bed.kernel
+            .post(self.tor_ctrl, now, TorController::boot_event());
+        for &l in &self.locals {
+            bed.kernel.post(l, now, LocalController::boot_event());
+        }
+    }
+
+    /// Ask the TOR controller to pull a VM's flows back to software before
+    /// a migration (S4). Run the kernel for at least one demote-grace after
+    /// this before moving the VM.
+    pub fn prepare_migration(
+        &self,
+        bed: &mut Testbed,
+        tenant: fastrak_net::addr::TenantId,
+        vm_ip: fastrak_net::addr::Ip,
+        at: SimTime,
+    ) {
+        bed.kernel.post(
+            self.tor_ctrl,
+            at,
+            Event::Ctl(CtlMsg::new(
+                self.tor_ctrl, // origin: ourselves (harness-injected)
+                MigrationPrepare { tenant, vm_ip },
+            )),
+        );
+    }
+
+    /// The set of currently offloaded aggregates (inspection).
+    pub fn offloaded<'a>(
+        &self,
+        bed: &'a Testbed,
+    ) -> &'a std::collections::HashSet<fastrak_net::flow::FlowAggregate> {
+        bed.kernel.node::<TorController>(self.tor_ctrl).offloaded()
+    }
+}

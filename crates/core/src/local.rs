@@ -1,0 +1,424 @@
+//! The per-server **local controller** (paper §4.3, §5.2: "a python script
+//! that queries the OVS datapath for active flow statistics twice within a
+//! period of t = 100 ms ... repeated once every T seconds ... aggregated for
+//! N epochs" and sent to the TOR controller).
+//!
+//! Responsibilities:
+//! * run the Measurement Engine against the server's vswitch stats;
+//! * ship demand reports to the TOR controller each control interval;
+//! * on decisions, program the flow placers of co-resident VMs over the
+//!   OpenFlow-style interface;
+//! * recompute the FPS rate split for each limited VM and push the VIF half
+//!   to the vswitch and the hardware half to the ToR (§4.1.4).
+
+use std::collections::HashMap;
+
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_net::ctrl::{CtrlReply, CtrlRequest, Dir};
+use fastrak_net::event::{CtlMsg, Event, NetCtx};
+use fastrak_net::flow::FlowAggregate;
+use fastrak_net::packet::PathTag;
+use fastrak_sim::kernel::{Api, Node, NodeId};
+use fastrak_sim::time::SimDuration;
+
+use crate::fps::{fps_split, is_maxed, FpsConfig, FpsInput};
+use crate::me::{MeasurementEngine, VmDemandProfile};
+use crate::protocol::{DemandReport, OffloadDecision, VmLimit};
+
+/// Timer tags.
+mod tags {
+    /// Start of an epoch: take sample A.
+    pub const EPOCH: u64 = 1;
+    /// `t` later: take sample B.
+    pub const SAMPLE_B: u64 = 2;
+}
+
+/// Measurement timing (paper §5.2 defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Gap between the two samples of an epoch (`t`, 100 ms).
+    pub sample_gap: SimDuration,
+    /// Epoch period (`T`; the paper uses 5 s and 0.5 s).
+    pub epoch: SimDuration,
+    /// Epochs per control interval (`N`, 2).
+    pub epochs_per_interval: u32,
+    /// Control intervals of history (`M`, 3).
+    pub history_intervals: u32,
+}
+
+impl Timing {
+    /// T = 5 s (the paper's coarse setting).
+    pub fn coarse() -> Timing {
+        Timing {
+            sample_gap: SimDuration::from_millis(100),
+            epoch: SimDuration::from_secs(5),
+            epochs_per_interval: 2,
+            history_intervals: 3,
+        }
+    }
+
+    /// T = 0.5 s (the paper's fine setting).
+    pub fn fine() -> Timing {
+        Timing {
+            epoch: SimDuration::from_millis(500),
+            ..Timing::coarse()
+        }
+    }
+
+    /// Length of one control interval `C = N × T`.
+    pub fn control_interval(&self) -> SimDuration {
+        self.epoch * self.epochs_per_interval as u64
+    }
+}
+
+/// Local controller configuration.
+pub struct LocalControllerConfig {
+    /// The server this controller manages.
+    pub server: NodeId,
+    /// That server's provider IP (report identity).
+    pub server_ip: Ip,
+    /// The TOR controller node.
+    pub tor_ctrl: NodeId,
+    /// The ToR switch node (for hardware rate-limit installs).
+    pub tor: NodeId,
+    /// Measurement timing.
+    pub timing: Timing,
+    /// VMs hosted on the server: (tenant, ip).
+    pub vms: Vec<(TenantId, Ip)>,
+    /// Rate limits to enforce.
+    pub limits: Vec<VmLimit>,
+    /// FPS tuning.
+    pub fps: FpsConfig,
+}
+
+/// The local controller node.
+pub struct LocalController {
+    cfg: LocalControllerConfig,
+    me: MeasurementEngine,
+    epoch_in_interval: u32,
+    interval: u64,
+    next_xid: u64,
+    /// xid → phase (A/B) so async stat replies land in the right sample.
+    pending: HashMap<u64, Phase>,
+    /// Latest hardware rates per aggregate from the TOR controller.
+    hw_rates: HashMap<FlowAggregate, f64>,
+    /// Last configured splits per (vm, dir): (sw_bps, hw_bps).
+    last_split: HashMap<(Ip, u8), (u64, u64)>,
+    /// Placer rules currently installed: aggregate → installed on which VMs.
+    installed: HashMap<FlowAggregate, Vec<(TenantId, Ip)>>,
+    /// Decisions applied.
+    pub decisions_applied: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    A,
+    B,
+}
+
+impl LocalController {
+    /// Build; call [`LocalController::boot`] (or post an EPOCH timer) after
+    /// adding to the kernel.
+    pub fn new(cfg: LocalControllerConfig) -> LocalController {
+        let hist = (cfg.timing.epochs_per_interval * cfg.timing.history_intervals) as usize;
+        LocalController {
+            me: MeasurementEngine::new(cfg.timing.sample_gap.as_secs_f64(), hist),
+            epoch_in_interval: 0,
+            interval: 0,
+            next_xid: 1,
+            pending: HashMap::new(),
+            hw_rates: HashMap::new(),
+            last_split: HashMap::new(),
+            installed: HashMap::new(),
+            decisions_applied: 0,
+            cfg,
+        }
+    }
+
+    /// The first event to post: start the epoch loop at `at`.
+    pub fn boot_event() -> Event {
+        Event::Timer {
+            tag: tags::EPOCH,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    /// Export a VM's demand profile (VM migration support, S4).
+    pub fn export_profile(&self, tenant: TenantId, vm_ip: Ip) -> VmDemandProfile {
+        self.me.export_profile(tenant, vm_ip)
+    }
+
+    /// Import a migrated VM's profile and start managing the VM.
+    pub fn adopt_vm(&mut self, profile: VmDemandProfile, limit: Option<VmLimit>) {
+        self.cfg.vms.push((profile.tenant, profile.vm_ip));
+        if let Some(l) = limit {
+            self.cfg.limits.push(l);
+        }
+        self.me.import_profile(profile);
+    }
+
+    /// Stop managing a VM (it migrated away).
+    pub fn release_vm(&mut self, tenant: TenantId, vm_ip: Ip) {
+        self.cfg.vms.retain(|&(t, ip)| !(t == tenant && ip == vm_ip));
+        self.cfg
+            .limits
+            .retain(|l| !(l.tenant == tenant && l.vm_ip == vm_ip));
+    }
+
+    fn request_dump(&mut self, api: &mut Api<'_, Event, NetCtx>, phase: Phase) {
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        self.pending.insert(xid, phase);
+        api.send(
+            self.cfg.server,
+            SimDuration::from_micros(20),
+            Event::Ctl(CtlMsg::new(api.self_id, CtrlRequest::DumpFlowStats { xid })),
+        );
+    }
+
+    fn on_sample_b_done(&mut self, api: &mut Api<'_, Event, NetCtx>) {
+        self.epoch_in_interval += 1;
+        if self.epoch_in_interval >= self.cfg.timing.epochs_per_interval {
+            self.epoch_in_interval = 0;
+            self.interval += 1;
+            let report = DemandReport {
+                interval: self.interval,
+                server_ip: self.cfg.server_ip,
+                entries: self.me.report(),
+            };
+            api.send(
+                self.cfg.tor_ctrl,
+                SimDuration::from_micros(100),
+                Event::Ctl(CtlMsg::new(api.self_id, report)),
+            );
+        }
+    }
+
+    /// Which hosted VMs need a placer rule for this aggregate?
+    ///
+    /// * `SrcApp` — only the VM that *is* the source endpoint;
+    /// * `DstApp` — every hosted VM of the tenant (any of them may send to
+    ///   the destination endpoint);
+    /// * `Exact` — the VM owning the source address.
+    fn placer_targets(&self, agg: &FlowAggregate) -> Vec<(TenantId, Ip)> {
+        match *agg {
+            FlowAggregate::SrcApp { tenant, ip, .. } => self
+                .cfg
+                .vms
+                .iter()
+                .copied()
+                .filter(|&(t, vip)| t == tenant && vip == ip)
+                .collect(),
+            FlowAggregate::DstApp { tenant, .. } => self
+                .cfg
+                .vms
+                .iter()
+                .copied()
+                .filter(|&(t, _)| t == tenant)
+                .collect(),
+            FlowAggregate::Exact(k) => self
+                .cfg
+                .vms
+                .iter()
+                .copied()
+                .filter(|&(t, vip)| t == k.tenant && vip == k.src_ip)
+                .collect(),
+        }
+    }
+
+    fn apply_decision(&mut self, api: &mut Api<'_, Event, NetCtx>, d: OffloadDecision) {
+        self.decisions_applied += 1;
+        self.hw_rates = d.hw_agg_bps.iter().copied().collect();
+        // Demotions first: pull traffic back into software.
+        for agg in &d.demote {
+            if let Some(targets) = self.installed.remove(agg) {
+                for (tenant, vm_ip) in targets {
+                    api.send(
+                        self.cfg.server,
+                        SimDuration::from_micros(20),
+                        Event::Ctl(CtlMsg::new(
+                            api.self_id,
+                            CtrlRequest::RemovePlacerRule {
+                                vm_ip,
+                                tenant,
+                                spec: agg.to_spec(),
+                            },
+                        )),
+                    );
+                }
+            }
+            self.hw_rates.remove(agg);
+        }
+        // Then offloads: ToR rules are already in place (the TOR controller
+        // installs before broadcasting), so flipping placers is safe.
+        for agg in &d.offload {
+            let targets = self.placer_targets(agg);
+            for &(tenant, vm_ip) in &targets {
+                api.send(
+                    self.cfg.server,
+                    SimDuration::from_micros(20),
+                    Event::Ctl(CtlMsg::new(
+                        api.self_id,
+                        CtrlRequest::InstallPlacerRule {
+                            vm_ip,
+                            tenant,
+                            spec: agg.to_spec(),
+                            priority: 10,
+                            path: PathTag::SrIov,
+                        },
+                    )),
+                );
+            }
+            if !targets.is_empty() {
+                self.installed.insert(*agg, targets);
+            }
+        }
+        self.refresh_rate_splits(api);
+    }
+
+    /// Per-VM software/hardware demand, from the ME report + hw rates.
+    fn vm_demand(&self, tenant: TenantId, vm_ip: Ip, dir: Dir) -> (f64, f64) {
+        let mut sw = 0.0;
+        let mut hw = 0.0;
+        let owned = |agg: &FlowAggregate| match (*agg, dir) {
+            (FlowAggregate::SrcApp { tenant: t, ip, .. }, Dir::Egress) => {
+                t == tenant && ip == vm_ip
+            }
+            (FlowAggregate::DstApp { tenant: t, ip, .. }, Dir::Ingress) => {
+                t == tenant && ip == vm_ip
+            }
+            (FlowAggregate::Exact(k), Dir::Egress) => k.tenant == tenant && k.src_ip == vm_ip,
+            (FlowAggregate::Exact(k), Dir::Ingress) => k.tenant == tenant && k.dst_ip == vm_ip,
+            _ => false,
+        };
+        for d in self.me.report() {
+            if owned(&d.agg) {
+                sw += d.bps * 8.0; // ME reports bytes/sec; demand in bits/sec
+            }
+        }
+        for (agg, bps) in &self.hw_rates {
+            if owned(agg) {
+                hw += bps;
+            }
+        }
+        (sw, hw)
+    }
+
+    fn refresh_rate_splits(&mut self, api: &mut Api<'_, Event, NetCtx>) {
+        let limits = self.cfg.limits.clone();
+        for l in limits {
+            for (dir, dtag, total) in [
+                (Dir::Egress, 0u8, l.egress_bps),
+                (Dir::Ingress, 1u8, l.ingress_bps),
+            ] {
+                let Some(total) = total else { continue };
+                let (sw_demand, hw_demand) = self.vm_demand(l.tenant, l.vm_ip, dir);
+                let prev = self.last_split.get(&(l.vm_ip, dtag)).copied();
+                let (sw_maxed, hw_maxed) = match prev {
+                    Some((ps, ph)) => (
+                        is_maxed(sw_demand, ps, 0.95),
+                        is_maxed(hw_demand, ph, 0.95),
+                    ),
+                    None => (false, false),
+                };
+                let split = fps_split(
+                    &self.cfg.fps,
+                    FpsInput {
+                        limit_bps: total,
+                        sw_demand_bps: sw_demand,
+                        hw_demand_bps: hw_demand,
+                        sw_maxed,
+                        hw_maxed,
+                    },
+                );
+                self.last_split
+                    .insert((l.vm_ip, dtag), (split.sw_bps, split.hw_bps));
+                api.send(
+                    self.cfg.server,
+                    SimDuration::from_micros(20),
+                    Event::Ctl(CtlMsg::new(
+                        api.self_id,
+                        CtrlRequest::SetVifRate {
+                            vm_ip: l.vm_ip,
+                            dir,
+                            bps: split.sw_bps,
+                        },
+                    )),
+                );
+                api.send(
+                    self.cfg.tor,
+                    SimDuration::from_micros(100),
+                    Event::Ctl(CtlMsg::new(
+                        api.self_id,
+                        CtrlRequest::SetHwRate {
+                            tenant: l.tenant,
+                            vm_ip: l.vm_ip,
+                            dir,
+                            bps: split.hw_bps,
+                        },
+                    )),
+                );
+            }
+        }
+    }
+
+    /// Current split for a (vm, dir) — test/inspection hook.
+    pub fn split_of(&self, vm_ip: Ip, dir: Dir) -> Option<(u64, u64)> {
+        let d = match dir {
+            Dir::Egress => 0,
+            Dir::Ingress => 1,
+        };
+        self.last_split.get(&(vm_ip, d)).copied()
+    }
+}
+
+impl Node<Event, NetCtx> for LocalController {
+    fn on_event(&mut self, ev: Event, api: &mut Api<'_, Event, NetCtx>) {
+        match ev {
+            Event::Timer { tag: tags::EPOCH, .. } => {
+                self.request_dump(api, Phase::A);
+                api.timer(
+                    self.cfg.timing.sample_gap,
+                    Event::Timer {
+                        tag: tags::SAMPLE_B,
+                        a: 0,
+                        b: 0,
+                    },
+                );
+                api.timer(self.cfg.timing.epoch, LocalController::boot_event());
+            }
+            Event::Timer {
+                tag: tags::SAMPLE_B,
+                ..
+            } => {
+                self.request_dump(api, Phase::B);
+            }
+            Event::Ctl(msg) => {
+                let msg = match msg.downcast::<CtrlReply>() {
+                    Ok((_, CtrlReply::FlowStats { xid, entries })) => {
+                        match self.pending.remove(&xid) {
+                            Some(Phase::A) => self.me.epoch_sample_a(&entries),
+                            Some(Phase::B) => {
+                                self.me.epoch_sample_b(&entries);
+                                self.on_sample_b_done(api);
+                            }
+                            None => {}
+                        }
+                        return;
+                    }
+                    Ok(_) => return,
+                    Err(m) => m,
+                };
+                if let Ok((_, d)) = msg.downcast::<OffloadDecision>() {
+                    self.apply_decision(api, d);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("local-ctrl@{}", self.cfg.server_ip)
+    }
+}

@@ -1,0 +1,347 @@
+//! The Measurement Engine (paper §4.3.1).
+//!
+//! The ME "collects statistics on packets (p) and bytes (b) observed for
+//! every active flow or flow aggregate, twice within an interval of t time
+//! units": Δp/t and Δb/t give pps and bps per **epoch**; epochs repeat every
+//! `T` for `N` epochs, and `N` epochs form one control interval `C`. Reports
+//! carry the current rates plus the historical **median pps/bps over the
+//! last M control intervals**.
+//!
+//! Flows are folded into per-VM-per-application aggregates
+//! (`<src VM IP, src L4 port, tenant>` / `<dst VM IP, dst L4 port, tenant>`)
+//! to bound state. The per-VM aggregate history is the VM's **network
+//! demand profile**, which ships with the VM on migration so FasTrak can
+//! make offload decisions for cloned/migrated VMs immediately.
+
+use std::collections::{HashMap, VecDeque};
+
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_net::ctrl::FlowStatEntry;
+use fastrak_net::flow::FlowAggregate;
+
+/// One aggregate's measured demand in the current report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggDemand {
+    /// The aggregate.
+    pub agg: FlowAggregate,
+    /// Packets/sec in the most recent epoch.
+    pub pps: f64,
+    /// Bytes/sec in the most recent epoch.
+    pub bps: f64,
+    /// Epochs (of those remembered) in which the aggregate was active.
+    pub n_active: u32,
+    /// Median pps over the remembered epochs (N epochs × M intervals).
+    pub m_pps: f64,
+    /// Median bps over the remembered epochs.
+    pub m_bps: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct AggState {
+    /// Cumulative (packets, bytes) at the epoch's first sample.
+    sample_a: Option<(u64, u64)>,
+    /// Per-epoch pps/bps history (bounded at N×M).
+    hist: VecDeque<(f64, f64)>,
+    last_pps: f64,
+    last_bps: f64,
+}
+
+/// The measurement engine: fed cumulative stat dumps, produces demand
+/// reports.
+#[derive(Debug)]
+pub struct MeasurementEngine {
+    /// Seconds between the two samples of one epoch (the paper's `t`).
+    pub sample_gap_secs: f64,
+    /// Epochs remembered: `N × M`.
+    pub history_len: usize,
+    aggs: HashMap<FlowAggregate, AggState>,
+    epochs_done: u64,
+}
+
+impl MeasurementEngine {
+    /// Build with the paper's defaults: t = 100 ms, N×M epochs of history.
+    pub fn new(sample_gap_secs: f64, history_len: usize) -> MeasurementEngine {
+        assert!(sample_gap_secs > 0.0 && history_len > 0);
+        MeasurementEngine {
+            sample_gap_secs,
+            history_len,
+            aggs: HashMap::new(),
+            epochs_done: 0,
+        }
+    }
+
+    /// Fold a flow-stat dump into per-aggregate cumulative counters.
+    fn fold(entries: &[FlowStatEntry]) -> HashMap<FlowAggregate, (u64, u64)> {
+        let mut m: HashMap<FlowAggregate, (u64, u64)> = HashMap::new();
+        for e in entries {
+            for agg in [FlowAggregate::src_of(&e.key), FlowAggregate::dst_of(&e.key)] {
+                let v = m.entry(agg).or_insert((0, 0));
+                v.0 += e.packets;
+                v.1 += e.bytes;
+            }
+        }
+        m
+    }
+
+    /// First sample of an epoch (cumulative counters at epoch start).
+    pub fn epoch_sample_a(&mut self, entries: &[FlowStatEntry]) {
+        let folded = Self::fold(entries);
+        for (agg, cum) in folded {
+            self.aggs.entry(agg).or_default().sample_a = Some(cum);
+        }
+    }
+
+    /// Second sample, `t` after the first: closes the epoch, computing
+    /// Δp/t and Δb/t per aggregate.
+    pub fn epoch_sample_b(&mut self, entries: &[FlowStatEntry]) {
+        let folded = Self::fold(entries);
+        self.epochs_done += 1;
+        let gap = self.sample_gap_secs;
+        let hist_len = self.history_len;
+        // Aggregates present in this dump.
+        for (agg, (p2, b2)) in &folded {
+            let st = self.aggs.entry(*agg).or_default();
+            let (p1, b1) = st.sample_a.take().unwrap_or((*p2, *b2));
+            let pps = (p2.saturating_sub(p1)) as f64 / gap;
+            let bps = (b2.saturating_sub(b1)) as f64 / gap;
+            st.last_pps = pps;
+            st.last_bps = bps;
+            st.hist.push_back((pps, bps));
+            if st.hist.len() > hist_len {
+                st.hist.pop_front();
+            }
+        }
+        // Aggregates we know but which vanished from the dump: zero epoch.
+        for (agg, st) in self.aggs.iter_mut() {
+            if !folded.contains_key(agg) {
+                st.sample_a = None;
+                st.last_pps = 0.0;
+                st.last_bps = 0.0;
+                st.hist.push_back((0.0, 0.0));
+                if st.hist.len() > hist_len {
+                    st.hist.pop_front();
+                }
+            }
+        }
+        // Drop aggregates idle across the whole remembered history.
+        self.aggs
+            .retain(|_, st| st.hist.iter().any(|&(p, _)| p > 0.0));
+    }
+
+    /// Number of closed epochs.
+    pub fn epochs_done(&self) -> u64 {
+        self.epochs_done
+    }
+
+    /// Produce the demand report (one row per active aggregate).
+    pub fn report(&self) -> Vec<AggDemand> {
+        let mut out = Vec::with_capacity(self.aggs.len());
+        for (agg, st) in &self.aggs {
+            let mut pps_hist: Vec<f64> = st.hist.iter().map(|&(p, _)| p).collect();
+            let mut bps_hist: Vec<f64> = st.hist.iter().map(|&(_, b)| b).collect();
+            if pps_hist.is_empty() {
+                continue;
+            }
+            pps_hist.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            bps_hist.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mid = pps_hist.len() / 2;
+            out.push(AggDemand {
+                agg: *agg,
+                pps: st.last_pps,
+                bps: st.last_bps,
+                n_active: st.hist.iter().filter(|&&(p, _)| p > 0.0).count() as u32,
+                m_pps: pps_hist[mid],
+                m_bps: bps_hist[mid],
+            });
+        }
+        out.sort_by(|a, b| {
+            b.m_pps
+                .partial_cmp(&a.m_pps)
+                .unwrap()
+                .then_with(|| a.agg.cmp(&b.agg))
+        });
+        out
+    }
+
+    /// Extract the demand profile of one VM (all aggregates whose endpoint
+    /// is this VM) — shipped along on VM migration (S4).
+    pub fn export_profile(&self, tenant: TenantId, vm_ip: Ip) -> VmDemandProfile {
+        let mut entries = Vec::new();
+        for (agg, st) in &self.aggs {
+            let owned = match agg {
+                FlowAggregate::SrcApp { tenant: t, ip, .. }
+                | FlowAggregate::DstApp { tenant: t, ip, .. } => *t == tenant && *ip == vm_ip,
+                FlowAggregate::Exact(k) => {
+                    k.tenant == tenant && (k.src_ip == vm_ip || k.dst_ip == vm_ip)
+                }
+            };
+            if owned {
+                entries.push((*agg, st.hist.iter().copied().collect()));
+            }
+        }
+        VmDemandProfile {
+            tenant,
+            vm_ip,
+            entries,
+        }
+    }
+
+    /// Merge a migrated VM's demand profile into this engine's history.
+    pub fn import_profile(&mut self, profile: VmDemandProfile) {
+        for (agg, hist) in profile.entries {
+            let st = self.aggs.entry(agg).or_default();
+            if st.hist.is_empty() {
+                st.hist = hist.into();
+                if let Some(&(p, b)) = st.hist.back() {
+                    st.last_pps = p;
+                    st.last_bps = b;
+                }
+            }
+        }
+    }
+}
+
+/// A VM's network demand profile (paper §4.3.1): the aggregate rate history
+/// that migrates with the VM.
+#[derive(Debug, Clone)]
+pub struct VmDemandProfile {
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// The VM.
+    pub vm_ip: Ip,
+    /// Per-aggregate epoch history.
+    pub entries: Vec<(FlowAggregate, Vec<(f64, f64)>)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastrak_net::flow::{FlowKey, Proto};
+
+    fn key(src: u16, dst: u16, sp: u16, dp: u16) -> FlowKey {
+        FlowKey {
+            tenant: TenantId(1),
+            src_ip: Ip::tenant_vm(src),
+            dst_ip: Ip::tenant_vm(dst),
+            proto: Proto::Tcp,
+            src_port: sp,
+            dst_port: dp,
+        }
+    }
+
+    fn entry(k: FlowKey, p: u64, b: u64) -> FlowStatEntry {
+        FlowStatEntry {
+            key: k,
+            packets: p,
+            bytes: b,
+        }
+    }
+
+    #[test]
+    fn epoch_rates_from_two_samples() {
+        let mut me = MeasurementEngine::new(0.1, 6);
+        let k = key(1, 2, 40_000, 11211);
+        me.epoch_sample_a(&[entry(k, 1000, 100_000)]);
+        me.epoch_sample_b(&[entry(k, 1500, 150_000)]);
+        let report = me.report();
+        // One flow folds into two aggregates (src-side + dst-side).
+        assert_eq!(report.len(), 2);
+        for d in &report {
+            assert!((d.pps - 5000.0).abs() < 1e-9, "pps {}", d.pps);
+            assert!((d.bps - 500_000.0).abs() < 1e-9);
+            assert_eq!(d.n_active, 1);
+        }
+    }
+
+    #[test]
+    fn aggregation_folds_same_service() {
+        // Two client flows to the same service port fold into one DstApp.
+        let mut me = MeasurementEngine::new(0.1, 6);
+        let k1 = key(1, 9, 40_000, 11211);
+        let k2 = key(2, 9, 40_001, 11211);
+        me.epoch_sample_a(&[entry(k1, 0, 0), entry(k2, 0, 0)]);
+        me.epoch_sample_b(&[entry(k1, 100, 1000), entry(k2, 300, 3000)]);
+        let report = me.report();
+        let dst = report
+            .iter()
+            .find(|d| matches!(d.agg, FlowAggregate::DstApp { port: 11211, .. }))
+            .unwrap();
+        assert!((dst.pps - 4000.0).abs() < 1e-9, "folded pps {}", dst.pps);
+    }
+
+    #[test]
+    fn median_over_history() {
+        let mut me = MeasurementEngine::new(1.0, 5);
+        let k = key(1, 2, 1, 2);
+        let mut cum = 0;
+        for add in [100u64, 200, 300, 400, 500] {
+            me.epoch_sample_a(&[entry(k, cum, cum)]);
+            cum += add;
+            me.epoch_sample_b(&[entry(k, cum, cum)]);
+        }
+        let d = me
+            .report()
+            .into_iter()
+            .find(|d| matches!(d.agg, FlowAggregate::SrcApp { .. }))
+            .unwrap();
+        assert!((d.m_pps - 300.0).abs() < 1e-9, "median {}", d.m_pps);
+        assert_eq!(d.n_active, 5);
+        assert!((d.pps - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_aggregates_age_out() {
+        let mut me = MeasurementEngine::new(1.0, 2);
+        let k = key(1, 2, 1, 2);
+        me.epoch_sample_a(&[entry(k, 0, 0)]);
+        me.epoch_sample_b(&[entry(k, 100, 100)]);
+        // Two idle epochs (flow vanished from dumps).
+        me.epoch_sample_a(&[]);
+        me.epoch_sample_b(&[]);
+        me.epoch_sample_a(&[]);
+        me.epoch_sample_b(&[]);
+        assert!(me.report().is_empty(), "idle aggregates must age out");
+    }
+
+    #[test]
+    fn history_bounded() {
+        let mut me = MeasurementEngine::new(1.0, 3);
+        let k = key(1, 2, 1, 2);
+        let mut cum = 0;
+        for _ in 0..10 {
+            me.epoch_sample_a(&[entry(k, cum, cum)]);
+            cum += 100;
+            me.epoch_sample_b(&[entry(k, cum, cum)]);
+        }
+        let d = &me.report()[0];
+        assert_eq!(d.n_active, 3, "history must be bounded at N*M");
+    }
+
+    #[test]
+    fn profile_export_import_roundtrip() {
+        let mut me = MeasurementEngine::new(1.0, 4);
+        let k = key(7, 2, 1, 2);
+        me.epoch_sample_a(&[entry(k, 0, 0)]);
+        me.epoch_sample_b(&[entry(k, 1000, 9000)]);
+        let profile = me.export_profile(TenantId(1), Ip::tenant_vm(7));
+        assert_eq!(profile.entries.len(), 1, "src-side aggregate of vm7");
+
+        // A fresh ME at the migration destination knows the history.
+        let mut me2 = MeasurementEngine::new(1.0, 4);
+        me2.import_profile(profile);
+        let rep = me2.report();
+        assert_eq!(rep.len(), 1);
+        assert!((rep[0].m_pps - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_sorted_by_median_pps() {
+        let mut me = MeasurementEngine::new(1.0, 4);
+        let hot = key(1, 2, 1, 2);
+        let cold = key(3, 4, 5, 6);
+        me.epoch_sample_a(&[entry(hot, 0, 0), entry(cold, 0, 0)]);
+        me.epoch_sample_b(&[entry(hot, 10_000, 0), entry(cold, 10, 0)]);
+        let rep = me.report();
+        assert!(rep[0].m_pps >= rep[rep.len() - 1].m_pps);
+    }
+}

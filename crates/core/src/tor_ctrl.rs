@@ -1,0 +1,540 @@
+//! The **TOR controller** (paper §4.3, §5.2: "a custom Floodlight controller
+//! that issues OpenFlow table and flow stats requests").
+//!
+//! Each control interval it merges the local controllers' demand reports
+//! with its own measurements of already-offloaded flows (from the ToR's
+//! per-rule counters), runs the decision engine, and:
+//!
+//! 1. installs the synthesized rule bundles for new offloads at the ToR and
+//!    waits for the Ack **before** telling local controllers to flip flow
+//!    placers (no blackholing);
+//! 2. broadcasts demotions immediately (placers flip back to the VIF) and
+//!    garbage-collects the ToR rules after a grace period so in-flight
+//!    hardware packets still match;
+//! 3. tracks fast-path memory so it "offloads only as many flows as can be
+//!    accommodated".
+
+use std::collections::{HashMap, HashSet};
+
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_net::ctrl::{CtrlReply, CtrlRequest, TorStatEntry};
+use fastrak_net::event::{CtlMsg, Event, NetCtx};
+use fastrak_net::flow::{FlowAggregate, FlowSpec};
+use fastrak_sim::kernel::{Api, Node, NodeId};
+use fastrak_sim::time::SimDuration;
+
+use crate::de::{DeConfig, DecisionEngine};
+use crate::me::AggDemand;
+use crate::protocol::{DemandReport, MigrationPrepare, OffloadDecision};
+use crate::rules::RuleManager;
+
+mod tags {
+    /// Start of a ToR measurement epoch (sample A).
+    pub const EPOCH: u64 = 1;
+    /// Sample B, `t` later.
+    pub const SAMPLE_B: u64 = 2;
+    /// Run the decision round for a control interval.
+    pub const DECIDE: u64 = 3;
+    /// Garbage-collect demoted ToR rules (a = gc token).
+    pub const GC: u64 = 4;
+}
+
+/// TOR controller configuration.
+pub struct TorControllerConfig {
+    /// The ToR switch node.
+    pub tor: NodeId,
+    /// Local controllers under this ToR.
+    pub locals: Vec<NodeId>,
+    /// Measurement timing (shared with the locals).
+    pub timing: crate::local::Timing,
+    /// Decision engine configuration.
+    pub de: DeConfig,
+    /// Fast-path entries the controller may use (≤ the ToR's capacity;
+    /// an aggregate costs one ACL rule, plus one tunnel mapping per remote
+    /// destination endpoint).
+    pub budget: usize,
+    /// Grace period before demoted ToR rules are removed.
+    pub demote_grace: SimDuration,
+    /// Tenant policies for rule synthesis.
+    pub rule_manager: RuleManager,
+}
+
+/// Epoch-pair meter over the ToR's per-rule cumulative counters.
+#[derive(Default)]
+struct HwMeter {
+    sample_a: HashMap<FlowAggregate, (u64, u64)>,
+    /// Per-aggregate (pps, Bps) history.
+    hist: HashMap<FlowAggregate, Vec<(f64, f64)>>,
+    cap: usize,
+}
+
+impl HwMeter {
+    fn fold(
+        entries: &[TorStatEntry],
+        spec_to_agg: &HashMap<(TenantId, FlowSpec), FlowAggregate>,
+    ) -> HashMap<FlowAggregate, (u64, u64)> {
+        let mut m = HashMap::new();
+        for e in entries {
+            if let Some(agg) = spec_to_agg.get(&(e.tenant, e.spec)) {
+                let v = m.entry(*agg).or_insert((0, 0));
+                let (p, b): &mut (u64, u64) = v;
+                *p += e.packets;
+                *b += e.bytes;
+            }
+        }
+        m
+    }
+
+    fn sample_a(
+        &mut self,
+        entries: &[TorStatEntry],
+        map: &HashMap<(TenantId, FlowSpec), FlowAggregate>,
+    ) {
+        self.sample_a = Self::fold(entries, map);
+    }
+
+    fn sample_b(
+        &mut self,
+        entries: &[TorStatEntry],
+        map: &HashMap<(TenantId, FlowSpec), FlowAggregate>,
+        gap_secs: f64,
+    ) {
+        let folded = Self::fold(entries, map);
+        for (agg, (p2, b2)) in folded {
+            let (p1, b1) = self.sample_a.get(&agg).copied().unwrap_or((p2, b2));
+            let h = self.hist.entry(agg).or_default();
+            h.push((
+                p2.saturating_sub(p1) as f64 / gap_secs,
+                b2.saturating_sub(b1) as f64 / gap_secs,
+            ));
+            let cap = self.cap.max(1);
+            if h.len() > cap {
+                h.remove(0);
+            }
+        }
+    }
+
+    fn demand(&self, agg: &FlowAggregate) -> Option<AggDemand> {
+        let h = self.hist.get(agg)?;
+        if h.is_empty() {
+            return None;
+        }
+        let mut pps: Vec<f64> = h.iter().map(|&(p, _)| p).collect();
+        pps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let last = *h.last().unwrap();
+        Some(AggDemand {
+            agg: *agg,
+            pps: last.0,
+            bps: last.1,
+            n_active: h.iter().filter(|&&(p, _)| p > 0.0).count() as u32,
+            m_pps: pps[pps.len() / 2],
+            m_bps: last.1,
+        })
+    }
+
+    fn forget(&mut self, agg: &FlowAggregate) {
+        self.hist.remove(agg);
+        self.sample_a.remove(agg);
+    }
+}
+
+/// The TOR controller node.
+pub struct TorController {
+    cfg: TorControllerConfig,
+    de: DecisionEngine,
+    /// Latest report per local controller.
+    reports: HashMap<Ip, DemandReport>,
+    /// Currently offloaded aggregates.
+    offloaded: HashSet<FlowAggregate>,
+    /// Installed ToR state per aggregate: the ACL spec (tunnel mappings are
+    /// shared, refcounted separately).
+    installed_spec: HashMap<FlowAggregate, (TenantId, FlowSpec)>,
+    spec_to_agg: HashMap<(TenantId, FlowSpec), FlowAggregate>,
+    hw: HwMeter,
+    next_xid: u64,
+    /// Offloads awaiting ToR Ack: xid → (aggregates, decision skeleton).
+    pending_install: HashMap<u64, (Vec<FlowAggregate>, OffloadDecision)>,
+    /// Demoted rule sets awaiting GC.
+    gc_queue: HashMap<u64, Vec<(TenantId, FlowSpec)>>,
+    next_gc: u64,
+    epoch_in_interval: u32,
+    interval: u64,
+    /// Fast-path entries currently used by this controller.
+    pub entries_used: usize,
+    /// Decision rounds executed.
+    pub rounds: u64,
+    /// Installs rejected by the ToR (fast-path exhaustion races).
+    pub install_failures: u64,
+}
+
+impl TorController {
+    /// Build; post [`TorController::boot_event`] to start.
+    pub fn new(cfg: TorControllerConfig) -> TorController {
+        let hist_cap = (cfg.timing.epochs_per_interval * cfg.timing.history_intervals) as usize;
+        TorController {
+            de: DecisionEngine::new(cfg.de.clone()),
+            reports: HashMap::new(),
+            offloaded: HashSet::new(),
+            installed_spec: HashMap::new(),
+            spec_to_agg: HashMap::new(),
+            hw: HwMeter {
+                cap: hist_cap,
+                ..HwMeter::default()
+            },
+            next_xid: 1,
+            pending_install: HashMap::new(),
+            gc_queue: HashMap::new(),
+            next_gc: 0,
+            epoch_in_interval: 0,
+            interval: 0,
+            entries_used: 0,
+            rounds: 0,
+            install_failures: 0,
+            cfg,
+        }
+    }
+
+    /// Wire the local controllers (deployment patches this after creating
+    /// them, since the TOR controller is created first).
+    pub fn set_locals(&mut self, locals: Vec<NodeId>) {
+        self.cfg.locals = locals;
+    }
+
+    /// The timer event that starts the measurement/decision loop.
+    pub fn boot_event() -> Event {
+        Event::Timer {
+            tag: tags::EPOCH,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    /// Currently offloaded aggregates (inspection).
+    pub fn offloaded(&self) -> &HashSet<FlowAggregate> {
+        &self.offloaded
+    }
+
+    fn request_tor_dump(&mut self, api: &mut Api<'_, Event, NetCtx>, phase_b: bool) {
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        // Phase encoded in the low bit of the xid parity map: track via
+        // pending_install? Simpler: even = A, odd = B.
+        let xid = xid * 2 + if phase_b { 1 } else { 0 };
+        api.send(
+            self.cfg.tor,
+            SimDuration::from_micros(50),
+            Event::Ctl(CtlMsg::new(api.self_id, CtrlRequest::DumpFlowStats { xid })),
+        );
+    }
+
+    fn merged_demands(&self) -> Vec<AggDemand> {
+        // Merge software reports (sum across servers: src- and dst-side
+        // aggregates are observed at both endpoints' vswitches, so take the
+        // max per reporter pair instead of double counting).
+        let mut merged: std::collections::BTreeMap<FlowAggregate, AggDemand> =
+            std::collections::BTreeMap::new();
+        for rep in self.reports.values() {
+            for d in &rep.entries {
+                merged
+                    .entry(d.agg)
+                    .and_modify(|m| {
+                        m.pps = m.pps.max(d.pps);
+                        m.bps = m.bps.max(d.bps);
+                        m.n_active = m.n_active.max(d.n_active);
+                        m.m_pps = m.m_pps.max(d.m_pps);
+                        m.m_bps = m.m_bps.max(d.m_bps);
+                    })
+                    .or_insert(*d);
+            }
+        }
+        // Fold in hardware-path measurements for offloaded aggregates.
+        for agg in &self.offloaded {
+            if let Some(hd) = self.hw.demand(agg) {
+                merged
+                    .entry(*agg)
+                    .and_modify(|m| {
+                        m.pps += hd.pps;
+                        m.bps += hd.bps;
+                        m.n_active = m.n_active.max(hd.n_active);
+                        m.m_pps = m.m_pps.max(hd.m_pps);
+                        m.m_bps = m.m_bps.max(hd.m_bps);
+                    })
+                    .or_insert(hd);
+            }
+        }
+        merged.into_values().collect()
+    }
+
+    fn decide(&mut self, api: &mut Api<'_, Event, NetCtx>) {
+        self.rounds += 1;
+        let demands = self.merged_demands();
+        let decision = self.de.decide(&demands, &self.offloaded, self.cfg.budget);
+
+        // Hardware rates for the FPS splits (bits/sec). Sorted for
+        // determinism (HashSet iteration order is randomized).
+        let mut offl: Vec<FlowAggregate> = self.offloaded.iter().copied().collect();
+        offl.sort();
+        let hw_agg_bps: Vec<(FlowAggregate, f64)> = offl
+            .iter()
+            .filter_map(|a| self.hw.demand(a).map(|d| (*a, d.bps * 8.0)))
+            .collect();
+
+        // Demotions: broadcast now, GC the ToR rules after the grace.
+        if !decision.demote.is_empty() {
+            let mut specs = Vec::new();
+            for agg in &decision.demote {
+                if let Some(s) = self.installed_spec.remove(agg) {
+                    self.spec_to_agg.remove(&s);
+                    specs.push(s);
+                }
+                self.offloaded.remove(agg);
+                self.hw.forget(agg);
+            }
+            if !specs.is_empty() {
+                self.entries_used = self.entries_used.saturating_sub(specs.len());
+                let token = self.next_gc;
+                self.next_gc += 1;
+                self.gc_queue.insert(token, specs);
+                api.timer(
+                    self.cfg.demote_grace,
+                    Event::Timer {
+                        tag: tags::GC,
+                        a: token,
+                        b: 0,
+                    },
+                );
+            }
+        }
+
+        // Offloads: synthesize rules, install at the ToR, broadcast on Ack.
+        let mut rules = Vec::new();
+        let mut offloadable = Vec::new();
+        for agg in &decision.offload {
+            if self.entries_used + rules.len() >= self.cfg.budget {
+                break;
+            }
+            match self.cfg.rule_manager.synthesize(agg, 10) {
+                Ok(rule) => {
+                    rules.push(rule);
+                    offloadable.push(*agg);
+                }
+                Err(_) => { /* deny-overlap: skip this aggregate */ }
+            }
+        }
+        let broadcast = OffloadDecision {
+            interval: self.interval,
+            offload: offloadable.clone(),
+            demote: decision.demote.clone(),
+            hw_agg_bps,
+        };
+        if rules.is_empty() {
+            // Nothing to install; broadcast demotions/rates immediately.
+            self.broadcast(api, broadcast);
+        } else {
+            let xid = self.next_xid;
+            self.next_xid += 1;
+            for (agg, rule) in offloadable.iter().zip(&rules) {
+                self.installed_spec
+                    .insert(*agg, (rule.tenant, rule.spec));
+                self.spec_to_agg.insert((rule.tenant, rule.spec), *agg);
+            }
+            self.entries_used += rules.len();
+            self.pending_install
+                .insert(xid, (offloadable, broadcast));
+            api.send(
+                self.cfg.tor,
+                SimDuration::from_micros(100),
+                Event::Ctl(CtlMsg::new(
+                    api.self_id,
+                    CtrlRequest::InstallTorRules { rules, xid },
+                )),
+            );
+        }
+    }
+
+    fn broadcast(&self, api: &mut Api<'_, Event, NetCtx>, d: OffloadDecision) {
+        for &local in &self.cfg.locals {
+            api.send(
+                local,
+                SimDuration::from_micros(100),
+                Event::Ctl(CtlMsg::new(api.self_id, d.clone())),
+            );
+        }
+    }
+
+    fn on_install_ack(&mut self, api: &mut Api<'_, Event, NetCtx>, xid: u64, ok: bool) {
+        let Some((aggs, broadcast)) = self.pending_install.remove(&xid) else {
+            return;
+        };
+        if ok {
+            for a in &aggs {
+                self.offloaded.insert(*a);
+            }
+            self.broadcast(api, broadcast);
+        } else {
+            // Roll back bookkeeping; broadcast only the demotions.
+            self.install_failures += 1;
+            self.entries_used = self.entries_used.saturating_sub(aggs.len());
+            for a in &aggs {
+                if let Some(s) = self.installed_spec.remove(a) {
+                    self.spec_to_agg.remove(&s);
+                }
+            }
+            let mut b = broadcast;
+            b.offload.clear();
+            self.broadcast(api, b);
+        }
+    }
+
+    fn on_migration_prepare(&mut self, api: &mut Api<'_, Event, NetCtx>, m: MigrationPrepare) {
+        // Demote every aggregate touching the migrating VM (paper §4.1.2:
+        // "any offloaded flows must be returned back to the VM's hypervisor
+        // before the migration can occur").
+        let mut affected: Vec<FlowAggregate> = self
+            .offloaded
+            .iter()
+            .copied()
+            .filter(|a| match *a {
+                FlowAggregate::SrcApp { tenant, ip, .. }
+                | FlowAggregate::DstApp { tenant, ip, .. } => {
+                    tenant == m.tenant && ip == m.vm_ip
+                }
+                FlowAggregate::Exact(k) => {
+                    k.tenant == m.tenant && (k.src_ip == m.vm_ip || k.dst_ip == m.vm_ip)
+                }
+            })
+            .collect();
+        affected.sort();
+        if affected.is_empty() {
+            return;
+        }
+        let mut specs = Vec::new();
+        for agg in &affected {
+            if let Some(s) = self.installed_spec.remove(agg) {
+                self.spec_to_agg.remove(&s);
+                specs.push(s);
+            }
+            self.offloaded.remove(agg);
+            self.hw.forget(agg);
+        }
+        self.entries_used = self.entries_used.saturating_sub(specs.len());
+        self.broadcast(
+            api,
+            OffloadDecision {
+                interval: self.interval,
+                offload: Vec::new(),
+                demote: affected,
+                hw_agg_bps: Vec::new(),
+            },
+        );
+        // Remove ToR rules after the usual grace.
+        let token = self.next_gc;
+        self.next_gc += 1;
+        self.gc_queue.insert(token, specs);
+        api.timer(
+            self.cfg.demote_grace,
+            Event::Timer {
+                tag: tags::GC,
+                a: token,
+                b: 0,
+            },
+        );
+    }
+}
+
+impl Node<Event, NetCtx> for TorController {
+    fn on_event(&mut self, ev: Event, api: &mut Api<'_, Event, NetCtx>) {
+        match ev {
+            Event::Timer { tag: tags::EPOCH, .. } => {
+                self.request_tor_dump(api, false);
+                api.timer(
+                    self.cfg.timing.sample_gap,
+                    Event::Timer {
+                        tag: tags::SAMPLE_B,
+                        a: 0,
+                        b: 0,
+                    },
+                );
+                api.timer(self.cfg.timing.epoch, TorController::boot_event());
+            }
+            Event::Timer {
+                tag: tags::SAMPLE_B,
+                ..
+            } => {
+                self.request_tor_dump(api, true);
+            }
+            Event::Timer { tag: tags::DECIDE, .. } => {
+                self.decide(api);
+            }
+            Event::Timer { tag: tags::GC, a, .. } => {
+                if let Some(specs) = self.gc_queue.remove(&a) {
+                    api.send(
+                        self.cfg.tor,
+                        SimDuration::from_micros(100),
+                        Event::Ctl(CtlMsg::new(
+                            api.self_id,
+                            CtrlRequest::RemoveTorRules { rules: specs },
+                        )),
+                    );
+                }
+            }
+            Event::Ctl(msg) => {
+                let msg = match msg.downcast::<CtrlReply>() {
+                    Ok((_, CtrlReply::TorFlowStats { xid, entries })) => {
+                        if xid % 2 == 0 {
+                            self.hw.sample_a(&entries, &self.spec_to_agg);
+                        } else {
+                            let gap = self.cfg.timing.sample_gap.as_secs_f64();
+                            let map = std::mem::take(&mut self.spec_to_agg);
+                            self.hw.sample_b(&entries, &map, gap);
+                            self.spec_to_agg = map;
+                            self.epoch_in_interval += 1;
+                            if self.epoch_in_interval
+                                >= self.cfg.timing.epochs_per_interval
+                            {
+                                self.epoch_in_interval = 0;
+                                self.interval += 1;
+                                // Decide shortly after the epoch closes so
+                                // local reports for the interval have landed.
+                                api.timer(
+                                    SimDuration::from_millis(10),
+                                    Event::Timer {
+                                        tag: tags::DECIDE,
+                                        a: 0,
+                                        b: 0,
+                                    },
+                                );
+                            }
+                        }
+                        return;
+                    }
+                    Ok((_, CtrlReply::Ack { xid })) => {
+                        self.on_install_ack(api, xid, true);
+                        return;
+                    }
+                    Ok((_, CtrlReply::Error { xid, .. })) => {
+                        self.on_install_ack(api, xid, false);
+                        return;
+                    }
+                    Ok(_) => return,
+                    Err(m) => m,
+                };
+                let msg = match msg.downcast::<DemandReport>() {
+                    Ok((_, rep)) => {
+                        self.reports.insert(rep.server_ip, rep);
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                if let Ok((_, m)) = msg.downcast::<MigrationPrepare>() {
+                    self.on_migration_prepare(api, m);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        "tor-ctrl".to_string()
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end controller tests: FasTrak on a live testbed, reproducing the
+//! qualitative behaviour of the paper's §6.2 (automatic migration of the
+//! high-pps application onto the express lane while the low-pps file
+//! transfer stays in software).
+
+use fastrak::{attach, DeConfig, FasTrakConfig, RuleManager, Timing, VmLimit};
+use fastrak_host::vm::VmSpec;
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_net::ctrl::Dir;
+use fastrak_net::flow::FlowAggregate;
+use fastrak_net::packet::PathTag;
+use fastrak_sim::time::SimTime;
+use fastrak_workload::{
+    memcached_server, FileTransfer, MemslapClient, MemslapConfig, StreamSink, Testbed,
+    TestbedConfig, MEMCACHED_PORT,
+};
+
+const T: TenantId = TenantId(1);
+
+/// Build: server 0 hosts memcached + scp source; server 1 hosts the memslap
+/// client + scp sink.
+fn build() -> (Testbed, fastrak_workload::VmRef, fastrak_workload::VmRef) {
+    let mut bed = Testbed::build(TestbedConfig {
+        n_servers: 2,
+        tunneling: false,
+        ..TestbedConfig::default()
+    });
+    let mc_ip = Ip::tenant_vm(1);
+    let scp_src_ip = Ip::tenant_vm(2);
+    let cli_ip = Ip::tenant_vm(3);
+    let scp_dst_ip = Ip::tenant_vm(4);
+
+    let mc = bed.add_vm(
+        0,
+        VmSpec::large("memcached", T, mc_ip),
+        Box::new(memcached_server()),
+    );
+    let mut ft = FileTransfer::paper_default(scp_dst_ip, 22, 50_000);
+    ft.total_bytes = 1 << 30; // 1 GB is plenty for the test horizon
+    bed.add_vm(0, VmSpec::large("scp-src", T, scp_src_ip), Box::new(ft));
+
+    let cli = bed.add_vm(
+        1,
+        VmSpec::large("memslap", T, cli_ip),
+        Box::new(MemslapClient::new(MemslapConfig::paper(vec![mc_ip], None))),
+    );
+    bed.add_vm(
+        1,
+        VmSpec::large("scp-sink", T, scp_dst_ip),
+        Box::new(StreamSink::new(22)),
+    );
+    (bed, mc, cli)
+}
+
+#[test]
+fn offloads_high_pps_memcached_not_scp() {
+    let (mut bed, mc, _cli) = build();
+    let ft = attach(
+        &mut bed,
+        FasTrakConfig {
+            timing: Timing::fine(),
+            de: DeConfig {
+                max_offloaded: Some(2),
+                ..DeConfig::paper()
+            },
+            rule_manager: RuleManager::new(),
+            ..Default::default()
+        },
+    );
+    ft.start(&mut bed);
+    bed.start();
+    // A few control intervals (C = 1 s with fine timing).
+    bed.run_until(SimTime::from_secs(5));
+
+    let offloaded = ft.offloaded(&bed);
+    assert!(
+        !offloaded.is_empty(),
+        "controller must offload something within 5 s"
+    );
+    // Every offloaded aggregate is a memcached endpoint (port 11211),
+    // never the scp flow (port 22).
+    for agg in offloaded {
+        let port = match agg {
+            FlowAggregate::SrcApp { port, .. } | FlowAggregate::DstApp { port, .. } => *port,
+            FlowAggregate::Exact(k) => k.dst_port,
+        };
+        assert_eq!(
+            port, MEMCACHED_PORT,
+            "only the high-pps memcached aggregates may be offloaded, got {agg:?}"
+        );
+    }
+
+    // Traffic actually moved: the memcached server's flows leave via the
+    // SR-IOV VF now.
+    let srv = bed.server(mc.server);
+    assert!(
+        srv.stats.tx_hw_frames > 1000,
+        "hardware path must carry the memcached responses, hw_frames={}",
+        srv.stats.tx_hw_frames
+    );
+    // The placer on the memcached VM agrees.
+    let placed = srv.vm(mc.vm).placer.current_path(&fastrak_net::flow::FlowKey {
+        tenant: T,
+        src_ip: mc.ip,
+        dst_ip: Ip::tenant_vm(3),
+        proto: fastrak_net::flow::Proto::Tcp,
+        src_port: MEMCACHED_PORT,
+        dst_port: 43_000,
+    });
+    assert_eq!(placed, PathTag::SrIov);
+}
+
+#[test]
+fn migration_prepare_pulls_flows_back() {
+    let (mut bed, mc, _cli) = build();
+    let ft = attach(&mut bed, FasTrakConfig::default());
+    ft.start(&mut bed);
+    bed.start();
+    bed.run_until(SimTime::from_secs(4));
+    assert!(!ft.offloaded(&bed).is_empty(), "offload first");
+
+    // Prepare migration of the memcached VM: all its aggregates demote.
+    let now = bed.now();
+    ft.prepare_migration(&mut bed, T, mc.ip, now);
+    bed.run_until(bed.now() + fastrak_sim::time::SimDuration::from_millis(200));
+    let touching: Vec<_> = ft
+        .offloaded(&bed)
+        .iter()
+        .filter(|a| match a {
+            FlowAggregate::SrcApp { ip, .. } | FlowAggregate::DstApp { ip, .. } => *ip == mc.ip,
+            FlowAggregate::Exact(k) => k.src_ip == mc.ip || k.dst_ip == mc.ip,
+        })
+        .collect();
+    assert!(
+        touching.is_empty(),
+        "migrating VM's aggregates must be demoted, still offloaded: {touching:?}"
+    );
+    // Traffic still flows (over the VIF): the client keeps completing.
+    let before = bed.app::<MemslapClient>(_cli).completed();
+    bed.run_until(bed.now() + fastrak_sim::time::SimDuration::from_secs(1));
+    let after = bed.app::<MemslapClient>(_cli).completed();
+    assert!(after > before, "traffic must continue after demotion");
+}
+
+#[test]
+fn fps_splits_rate_limits_across_paths() {
+    let (mut bed, mc, cli) = build();
+    let limit = 2_000_000_000; // 2 Gbps egress limit on the memcached VM
+    let ft = attach(
+        &mut bed,
+        FasTrakConfig {
+            limits: vec![VmLimit {
+                tenant: T,
+                vm_ip: mc.ip,
+                egress_bps: Some(limit),
+                ingress_bps: None,
+            }],
+            ..Default::default()
+        },
+    );
+    ft.start(&mut bed);
+    bed.start();
+    bed.run_until(SimTime::from_secs(6));
+
+    // The local controller must have configured a split whose sum respects
+    // L + 2*O.
+    let lc = bed
+        .kernel
+        .node::<fastrak::LocalController>(ft.locals[mc.server]);
+    let (sw, hw) = lc
+        .split_of(mc.ip, Dir::Egress)
+        .expect("a split must have been configured");
+    let bound = (limit as f64 * 1.12) as u64;
+    assert!(sw + hw <= bound, "sw {sw} + hw {hw} exceeds {bound}");
+    // The hot (offloaded) path holds the lion's share of the limit.
+    assert!(
+        hw > sw,
+        "demand lives on the hardware path, so FPS must favour it: sw={sw} hw={hw}"
+    );
+    // And the client keeps making progress under the limits.
+    assert!(bed.app::<MemslapClient>(cli).completed() > 10_000);
+}
+
+#[test]
+fn deterministic_offload_decisions() {
+    let run = || {
+        let (mut bed, _mc, cli) = build();
+        let ft = attach(&mut bed, FasTrakConfig::default());
+        ft.start(&mut bed);
+        bed.start();
+        bed.run_until(SimTime::from_secs(4));
+        let mut aggs: Vec<String> = ft.offloaded(&bed).iter().map(|a| format!("{a:?}")).collect();
+        aggs.sort();
+        (aggs, bed.app::<MemslapClient>(cli).completed())
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the controller logic: the decision engine
+//! respects its budget and never double-selects, FPS splits stay within the
+//! paper's `L + 2O` envelope, and rule synthesis never emits a hardware
+//! allow that a tenant deny would have blocked in software.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use fastrak::de::{DeConfig, DecisionEngine};
+use fastrak::fps::{fps_split, FpsConfig, FpsInput};
+use fastrak::me::AggDemand;
+use fastrak::rules::{specs_intersect, RuleManager};
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_net::flow::{FlowAggregate, FlowSpec};
+use fastrak_net::rules::{Action, RuleSet, SecurityRule};
+
+fn agg(i: u32) -> FlowAggregate {
+    if i % 2 == 0 {
+        FlowAggregate::DstApp {
+            tenant: TenantId(1 + i % 4),
+            ip: Ip(0x0a000000 + (i / 2)),
+            port: (1000 + i % 500) as u16,
+        }
+    } else {
+        FlowAggregate::SrcApp {
+            tenant: TenantId(1 + i % 4),
+            ip: Ip(0x0a000000 + (i / 2)),
+            port: (1000 + i % 500) as u16,
+        }
+    }
+}
+
+prop_compose! {
+    fn arb_demand()(i in 0u32..64, pps in 0f64..100_000.0, n in 0u32..7) -> AggDemand {
+        AggDemand {
+            agg: agg(i),
+            pps,
+            bps: pps * 500.0,
+            n_active: n,
+            m_pps: pps * 0.8,
+            m_bps: pps * 400.0,
+        }
+    }
+}
+
+proptest! {
+    /// The target set never exceeds the budget, contains no duplicates, and
+    /// offload/demote are consistent with (target, currently-offloaded).
+    #[test]
+    fn decision_respects_budget_and_consistency(
+        demands in proptest::collection::vec(arb_demand(), 0..60),
+        offloaded_idx in proptest::collection::vec(0u32..64, 0..20),
+        budget in 0usize..32,
+    ) {
+        let de = DecisionEngine::new(DeConfig::paper());
+        let offloaded: HashSet<FlowAggregate> = offloaded_idx.iter().map(|&i| agg(i)).collect();
+        let d = de.decide(&demands, &offloaded, budget);
+        prop_assert!(d.target.len() <= budget, "{} > {budget}", d.target.len());
+        let uniq: HashSet<_> = d.target.iter().collect();
+        prop_assert_eq!(uniq.len(), d.target.len(), "duplicates in target");
+        for o in &d.offload {
+            prop_assert!(d.target.contains(o));
+            prop_assert!(!offloaded.contains(o), "offload of already-offloaded {o:?}");
+        }
+        for dem in &d.demote {
+            prop_assert!(offloaded.contains(dem));
+            prop_assert!(!d.target.contains(dem), "demoted {dem:?} still in target");
+        }
+    }
+
+    /// With zero hysteresis and no groups, the chosen set is exactly the
+    /// top-k by score among eligible demands.
+    #[test]
+    fn decision_is_top_k_by_score(
+        demands_raw in proptest::collection::vec(arb_demand(), 1..40),
+        budget in 1usize..16,
+    ) {
+        // One demand row per aggregate (duplicates would make "top-k by
+        // score" ambiguous — the engine scores rows, not aggregates).
+        let mut seen = HashSet::new();
+        let demands: Vec<_> = demands_raw
+            .into_iter()
+            .filter(|d| seen.insert(d.agg))
+            .collect();
+        let mut cfg = DeConfig::paper();
+        cfg.hysteresis = 1.0;
+        cfg.min_median_pps = 0.0;
+        let de = DecisionEngine::new(cfg);
+        let d = de.decide(&demands, &HashSet::new(), budget);
+        // Every selected aggregate's best score >= every unselected one's.
+        let ranked = de.rank(&demands);
+        let selected: HashSet<_> = d.target.iter().collect();
+        let min_sel = ranked.iter().filter(|s| selected.contains(&s.agg)).map(|s| s.score)
+            .fold(f64::INFINITY, f64::min);
+        let max_unsel = ranked.iter().filter(|s| !selected.contains(&s.agg)).map(|s| s.score)
+            .fold(0.0, f64::max);
+        if !d.target.is_empty() && d.target.len() == budget.min(ranked.len()) {
+            prop_assert!(min_sel >= max_unsel - 1e-9, "{min_sel} < {max_unsel}");
+        }
+    }
+
+    /// FPS: the sum of the two limits never exceeds L(1 + 2·overflow), and
+    /// each side always gets a usable minimum share.
+    #[test]
+    fn fps_envelope(
+        limit in 1_000_000u64..20_000_000_000,
+        sw in 0f64..20e9,
+        hw in 0f64..20e9,
+        sw_maxed in any::<bool>(),
+        hw_maxed in any::<bool>(),
+    ) {
+        let cfg = FpsConfig::default();
+        let s = fps_split(&cfg, FpsInput {
+            limit_bps: limit,
+            sw_demand_bps: sw,
+            hw_demand_bps: hw,
+            sw_maxed,
+            hw_maxed,
+        });
+        let bound = limit as f64 * (1.0 + 2.0 * cfg.overflow_frac) + 2.0;
+        prop_assert!((s.sw_bps + s.hw_bps) as f64 <= bound);
+        let min_each = limit as f64 * cfg.min_share; // before overflow
+        prop_assert!(s.sw_bps as f64 >= min_each, "sw starved: {s:?}");
+        prop_assert!(s.hw_bps as f64 >= min_each, "hw starved: {s:?}");
+    }
+
+    /// Safety: if the rule manager synthesizes a hardware allow for an
+    /// aggregate, then no *winning* deny in the tenant policy intersects it.
+    #[test]
+    fn synthesis_never_bypasses_a_deny(
+        i in 0u32..64,
+        deny_port in proptest::option::of(1000u16..1500),
+        deny_tenant in 1u32..5,
+        deny_prio in 1u16..20,
+    ) {
+        let mut rm = RuleManager::new();
+        let mut rs = RuleSet::new();
+        let deny_spec = FlowSpec {
+            tenant: Some(TenantId(deny_tenant)),
+            dst_port: deny_port,
+            ..FlowSpec::ANY
+        };
+        rs.add_security(SecurityRule {
+            spec: deny_spec,
+            priority: deny_prio,
+            action: Action::Deny,
+        });
+        rm.set_policy(TenantId(deny_tenant), rs);
+        let a = agg(i);
+        match rm.synthesize(&a, 10) {
+            Ok(rule) => {
+                // The allow must not intersect the deny (different tenant or
+                // disjoint ports).
+                prop_assert!(
+                    !specs_intersect(&deny_spec, &rule.spec),
+                    "allow {:?} intersects deny {:?}",
+                    rule.spec,
+                    deny_spec
+                );
+            }
+            Err(_) => {
+                // Refusal is always safe.
+            }
+        }
+    }
+}

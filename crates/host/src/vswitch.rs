@@ -1,0 +1,398 @@
+//! The Open vSwitch model (paper §2.2).
+//!
+//! Two-tier architecture exactly as in OVS 1.9:
+//!
+//! * **kernel datapath** — an exact-match hash table
+//!   ([`fastrak_net::tables::ExactMatchTable`]) from flow key to action. A
+//!   hit is O(1) and handled "entirely by the kernel component".
+//! * **userspace slow path** — on a miss, the packet is checked against the
+//!   configured security rules and tunnel mappings, and an exact-match rule
+//!   is installed so subsequent packets stay in the kernel. This is why
+//!   "10,000 security rules showed no measurable difference" (§3.2): only
+//!   the first packet of a flow pays the scan.
+//!
+//! The vswitch is a *passive policy engine*: the owning
+//! [`crate::server::Server`] charges the CPU costs and enforces the htb
+//! token buckets; this module decides what happens to each packet and keeps
+//! the per-flow statistics the local controller's Measurement Engine dumps.
+
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_net::ctrl::FlowStatEntry;
+use fastrak_net::flow::FlowKey;
+use fastrak_net::rules::{Action, RuleSet};
+use fastrak_net::tables::ExactMatchTable;
+use fastrak_net::tunnel::{TunnelKey, TunnelMapping, TunnelTable};
+use fastrak_sim::tbf::TokenBucket;
+use fastrak_sim::time::SimTime;
+
+/// Where a transmitted packet goes after vswitch processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxVerdict {
+    /// Deliver to a co-resident VM (by local VM index).
+    Local(usize),
+    /// Send out the physical NIC, VXLAN-encapsulated to a remote server.
+    UplinkTunneled(TunnelMapping),
+    /// Send out the physical NIC untunneled (tunneling disabled).
+    UplinkPlain,
+    /// Dropped by security policy.
+    Denied,
+    /// Dropped: no route to the destination VM.
+    NoRoute,
+}
+
+/// Result of a datapath consultation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxResult {
+    /// Final verdict.
+    pub verdict: TxVerdict,
+    /// True when the userspace slow path ran (first packet of a flow).
+    pub slow_path: bool,
+}
+
+/// Cached kernel action for one exact flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DpAction {
+    verdict: TxVerdict,
+}
+
+/// Per-VIF software rate limiters (tc htb semantics).
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct VifRates {
+    /// Egress shaper (None = unlimited).
+    pub egress: Option<TokenBucket>,
+    /// Ingress policer/shaper.
+    pub ingress: Option<TokenBucket>,
+}
+
+
+/// Configuration block mirroring the paper's OVS configurations (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VswitchConfig {
+    /// 'OVS+Tunneling': VXLAN-encapsulate cross-server traffic.
+    pub tunneling: bool,
+}
+
+/// The vswitch.
+#[derive(Debug)]
+pub struct Vswitch {
+    cfg: VswitchConfig,
+    /// Kernel datapath cache.
+    datapath: ExactMatchTable<DpAction>,
+    /// Userspace security rules (per tenant; scanned only on miss).
+    rules: RuleSet,
+    /// Tunnel mappings (userspace; resolved on miss, baked into the cache).
+    tunnels: TunnelTable,
+    /// Local VM directory: (tenant, vm tenant-IP) -> local VM index.
+    local_vms: Vec<(TenantId, Ip)>,
+    /// Per-local-VM rate limiters, indexed like `local_vms`.
+    vif_rates: Vec<VifRates>,
+    slow_path_hits: u64,
+}
+
+impl Vswitch {
+    /// An empty vswitch in the given configuration.
+    pub fn new(cfg: VswitchConfig) -> Vswitch {
+        Vswitch {
+            cfg,
+            datapath: ExactMatchTable::new(),
+            rules: RuleSet::new(),
+            tunnels: TunnelTable::new(),
+            local_vms: Vec::new(),
+            vif_rates: Vec::new(),
+            slow_path_hits: 0,
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> VswitchConfig {
+        self.cfg
+    }
+
+    /// Register a local VM's VIF; index must match the server's VM index.
+    pub fn attach_vif(&mut self, tenant: TenantId, vm_ip: Ip) -> usize {
+        self.local_vms.push((tenant, vm_ip));
+        self.vif_rates.push(VifRates::default());
+        self.local_vms.len() - 1
+    }
+
+    /// The security rule set (userspace). Add tenant rules here.
+    pub fn rules_mut(&mut self) -> &mut RuleSet {
+        &mut self.rules
+    }
+
+    /// Tunnel mappings (userspace).
+    pub fn tunnels_mut(&mut self) -> &mut TunnelTable {
+        &mut self.tunnels
+    }
+
+    /// Per-VIF rate limiters for VM `idx`.
+    pub fn vif_rates_mut(&mut self, idx: usize) -> &mut VifRates {
+        &mut self.vif_rates[idx]
+    }
+
+    /// Number of userspace security rules installed.
+    pub fn n_rules(&self) -> usize {
+        self.rules.security_len()
+    }
+
+    /// Times the slow path ran.
+    pub fn slow_path_hits(&self) -> u64 {
+        self.slow_path_hits
+    }
+
+    /// Kernel datapath size (exact-match entries).
+    pub fn datapath_len(&self) -> usize {
+        self.datapath.len()
+    }
+
+    fn local_index(&self, tenant: TenantId, ip: Ip) -> Option<usize> {
+        self.local_vms
+            .iter()
+            .position(|&(t, i)| t == tenant && i == ip)
+    }
+
+    /// Process one transmitted packet from a local VIF.
+    ///
+    /// `bytes` is the wire byte count to account against the matched flow.
+    pub fn process_tx(&mut self, key: &FlowKey, bytes: u64) -> TxResult {
+        if let Some(act) = self.datapath.lookup(key, bytes) {
+            return TxResult {
+                verdict: act.verdict,
+                slow_path: false,
+            };
+        }
+        // Userspace slow path: policy + routing decision, then cache it.
+        self.slow_path_hits += 1;
+        let verdict = self.decide(key);
+        self.datapath.insert(*key, DpAction { verdict });
+        // Account the packet against the fresh entry.
+        let _ = self.datapath.lookup(key, bytes);
+        TxResult {
+            verdict,
+            slow_path: true,
+        }
+    }
+
+    fn decide(&mut self, key: &FlowKey) -> TxVerdict {
+        // OVS default-open: with no matching rule the packet passes; an
+        // explicit Deny rule drops (the ToR is default-closed instead).
+        if self.rules.evaluate(key) == Some(Action::Deny) {
+            return TxVerdict::Denied;
+        }
+        if let Some(local) = self.local_index(key.tenant, key.dst_ip) {
+            return TxVerdict::Local(local);
+        }
+        if self.cfg.tunneling {
+            match self.tunnels.resolve(&TunnelKey {
+                tenant: key.tenant,
+                vm_ip: key.dst_ip,
+            }) {
+                Some(m) => TxVerdict::UplinkTunneled(m),
+                None => TxVerdict::NoRoute,
+            }
+        } else {
+            TxVerdict::UplinkPlain
+        }
+    }
+
+    /// Process one received packet (post-decap) destined to a local VM.
+    /// Returns the local VM index, or `None` to drop.
+    pub fn process_rx(&mut self, key: &FlowKey, bytes: u64) -> Option<usize> {
+        // Receive side also caches (reverse-direction entries).
+        let r = self.process_tx(key, bytes);
+        match r.verdict {
+            TxVerdict::Local(i) => Some(i),
+            // A packet addressed to a non-local VM reaching us is a routing
+            // bug upstream or a stale mapping after VM migration: drop.
+            _ => self.local_index(key.tenant, key.dst_ip),
+        }
+    }
+
+    /// Flush datapath entries matching a predicate (rule revocation, VM
+    /// migration). Returns flushed keys.
+    pub fn flush_where(&mut self, mut pred: impl FnMut(&FlowKey) -> bool) -> Vec<FlowKey> {
+        self.datapath.retain(|k, _| !pred(k))
+    }
+
+    /// Dump per-flow statistics (what the local controller's ME queries).
+    pub fn dump_flow_stats(&self) -> Vec<FlowStatEntry> {
+        self.datapath
+            .iter()
+            .map(|(k, _v, stats)| FlowStatEntry {
+                key: *k,
+                packets: stats.count,
+                bytes: stats.bytes,
+            })
+            .collect()
+    }
+
+    /// Egress-shape a packet: returns its conforming departure time.
+    pub fn shape_egress(&mut self, vm_idx: usize, now: SimTime, bytes: u64) -> SimTime {
+        match &mut self.vif_rates[vm_idx].egress {
+            Some(tb) => tb.acquire(now, bytes),
+            None => now,
+        }
+    }
+
+    /// Ingress-shape a packet for a local VM.
+    pub fn shape_ingress(&mut self, vm_idx: usize, now: SimTime, bytes: u64) -> SimTime {
+        match &mut self.vif_rates[vm_idx].ingress {
+            Some(tb) => tb.acquire(now, bytes),
+            None => now,
+        }
+    }
+
+    /// Is egress rate limiting configured for this VM?
+    pub fn egress_limited(&self, vm_idx: usize) -> bool {
+        self.vif_rates[vm_idx].egress.is_some()
+    }
+
+    /// Is ingress rate limiting configured for this VM?
+    pub fn ingress_limited(&self, vm_idx: usize) -> bool {
+        self.vif_rates[vm_idx].ingress.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastrak_net::flow::{FlowSpec, Proto};
+    use fastrak_net::rules::SecurityRule;
+
+    fn key(tenant: u32, src: Ip, dst: Ip) -> FlowKey {
+        FlowKey {
+            tenant: TenantId(tenant),
+            src_ip: src,
+            dst_ip: dst,
+            proto: Proto::Tcp,
+            src_port: 1000,
+            dst_port: 2000,
+        }
+    }
+
+    fn vm(i: u16) -> Ip {
+        Ip::tenant_vm(i)
+    }
+
+    #[test]
+    fn first_packet_slow_then_fast() {
+        let mut vs = Vswitch::new(VswitchConfig::default());
+        vs.attach_vif(TenantId(1), vm(1));
+        let k = key(1, vm(1), vm(99));
+        let r1 = vs.process_tx(&k, 100);
+        assert!(r1.slow_path);
+        assert_eq!(r1.verdict, TxVerdict::UplinkPlain);
+        let r2 = vs.process_tx(&k, 100);
+        assert!(!r2.slow_path);
+        assert_eq!(vs.slow_path_hits(), 1);
+        assert_eq!(vs.datapath_len(), 1);
+    }
+
+    #[test]
+    fn local_delivery_between_coresident_vms() {
+        let mut vs = Vswitch::new(VswitchConfig::default());
+        vs.attach_vif(TenantId(1), vm(1));
+        let idx2 = vs.attach_vif(TenantId(1), vm(2));
+        let r = vs.process_tx(&key(1, vm(1), vm(2)), 100);
+        assert_eq!(r.verdict, TxVerdict::Local(idx2));
+    }
+
+    #[test]
+    fn tenant_isolation_on_local_delivery() {
+        // Same IP, different tenant: must NOT deliver locally to the other
+        // tenant's VM.
+        let mut vs = Vswitch::new(VswitchConfig::default());
+        vs.attach_vif(TenantId(1), vm(1));
+        vs.attach_vif(TenantId(2), vm(2));
+        let r = vs.process_tx(&key(1, vm(1), vm(2)), 100);
+        assert_ne!(r.verdict, TxVerdict::Local(1));
+    }
+
+    #[test]
+    fn deny_rule_drops() {
+        let mut vs = Vswitch::new(VswitchConfig::default());
+        vs.attach_vif(TenantId(1), vm(1));
+        vs.rules_mut().add_security(SecurityRule {
+            spec: FlowSpec::tenant(TenantId(1)),
+            priority: 5,
+            action: Action::Deny,
+        });
+        let r = vs.process_tx(&key(1, vm(1), vm(9)), 10);
+        assert_eq!(r.verdict, TxVerdict::Denied);
+        // Cached as denied too.
+        let r2 = vs.process_tx(&key(1, vm(1), vm(9)), 10);
+        assert!(!r2.slow_path);
+        assert_eq!(r2.verdict, TxVerdict::Denied);
+    }
+
+    #[test]
+    fn tunneling_resolves_mapping() {
+        let mut vs = Vswitch::new(VswitchConfig { tunneling: true });
+        vs.attach_vif(TenantId(1), vm(1));
+        let m = TunnelMapping {
+            server_ip: Ip::provider_server(0, 2),
+            tor_ip: Ip::provider_tor(0),
+        };
+        vs.tunnels_mut().insert(
+            TunnelKey {
+                tenant: TenantId(1),
+                vm_ip: vm(5),
+            },
+            m,
+        );
+        let r = vs.process_tx(&key(1, vm(1), vm(5)), 10);
+        assert_eq!(r.verdict, TxVerdict::UplinkTunneled(m));
+        // Unmapped destination: no route.
+        let r2 = vs.process_tx(&key(1, vm(1), vm(6)), 10);
+        assert_eq!(r2.verdict, TxVerdict::NoRoute);
+    }
+
+    #[test]
+    fn rx_delivers_to_local_vm() {
+        let mut vs = Vswitch::new(VswitchConfig::default());
+        let idx = vs.attach_vif(TenantId(1), vm(1));
+        assert_eq!(vs.process_rx(&key(1, vm(9), vm(1)), 10), Some(idx));
+        assert_eq!(vs.process_rx(&key(1, vm(9), vm(42)), 10), None);
+    }
+
+    #[test]
+    fn stats_accumulate_and_dump() {
+        let mut vs = Vswitch::new(VswitchConfig::default());
+        vs.attach_vif(TenantId(1), vm(1));
+        let k = key(1, vm(1), vm(9));
+        vs.process_tx(&k, 100);
+        vs.process_tx(&k, 200);
+        let dump = vs.dump_flow_stats();
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump[0].packets, 2);
+        assert_eq!(dump[0].bytes, 300);
+    }
+
+    #[test]
+    fn flush_invalidates_cache() {
+        let mut vs = Vswitch::new(VswitchConfig::default());
+        vs.attach_vif(TenantId(1), vm(1));
+        let k = key(1, vm(1), vm(9));
+        vs.process_tx(&k, 100);
+        let flushed = vs.flush_where(|fk| fk.dst_ip == vm(9));
+        assert_eq!(flushed, vec![k]);
+        // Next packet takes the slow path again.
+        let r = vs.process_tx(&k, 100);
+        assert!(r.slow_path);
+    }
+
+    #[test]
+    fn egress_shaping_delays_when_configured() {
+        let mut vs = Vswitch::new(VswitchConfig::default());
+        let idx = vs.attach_vif(TenantId(1), vm(1));
+        assert!(!vs.egress_limited(idx));
+        // 8 kbit/s, tiny burst: a 1 KB packet takes a second.
+        vs.vif_rates_mut(idx).egress = Some(TokenBucket::new(8_000, 1_000));
+        assert!(vs.egress_limited(idx));
+        let t0 = SimTime::ZERO;
+        assert_eq!(vs.shape_egress(idx, t0, 1_000), t0); // burst passes
+        let t1 = vs.shape_egress(idx, t0, 1_000);
+        assert!(t1 >= t0 + fastrak_sim::time::SimDuration::from_millis(900));
+    }
+}

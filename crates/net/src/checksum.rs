@@ -1,0 +1,67 @@
+//! The Internet checksum (RFC 1071), used by the IPv4 header codec.
+
+/// One's-complement sum over 16-bit words, final complement.
+///
+/// Odd-length input is padded with a zero byte, per RFC 1071.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !fold(sum_words(data))
+}
+
+/// Incremental building block: raw 32-bit accumulated sum (no complement).
+pub fn sum_words(data: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum = sum.wrapping_add(u16::from_be_bytes([c[0], c[1]]) as u32);
+    }
+    if let [last] = chunks.remainder() {
+        sum = sum.wrapping_add(u16::from_be_bytes([*last, 0]) as u32);
+    }
+    sum
+}
+
+/// Fold carries into 16 bits.
+pub fn fold(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u16
+}
+
+/// Verify: the checksum over data *including* its checksum field is 0xffff
+/// before complement (i.e. `internet_checksum(data) == 0`).
+pub fn verify(data: &[u8]) -> bool {
+    internet_checksum(data) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = fold(sum_words(&data));
+        assert_eq!(sum, 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        assert_eq!(internet_checksum(&[0xff]), !0xff00);
+    }
+
+    #[test]
+    fn embedding_checksum_verifies() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06];
+        let ck = internet_checksum(&data);
+        data.extend_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+    }
+
+    #[test]
+    fn empty_is_all_ones() {
+        assert_eq!(internet_checksum(&[]), 0xffff);
+    }
+}

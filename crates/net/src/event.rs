@@ -1,0 +1,150 @@
+//! The shared simulation event vocabulary.
+//!
+//! Every node in the testbed (servers, ToR switches, the fabric core, the
+//! FasTrak controllers) exchanges [`Event`]s through the DES kernel:
+//!
+//! * [`Event::Frame`] — a packet arriving on one of the node's ports after
+//!   link serialization + propagation;
+//! * [`Event::Timer`] — a self-scheduled timer (TCP retransmission, ME
+//!   measurement epochs, workload pacing);
+//! * [`Event::Ctl`] — a control-plane message. Control messages are typed
+//!   per-protocol and carried as `Box<dyn Any>` so that higher layers (the
+//!   controllers in `fastrak`) can define message types without this crate
+//!   depending on them. Control traffic is low-rate, so the downcast cost is
+//!   irrelevant.
+
+use std::any::Any;
+
+use fastrak_sim::kernel::NodeId;
+use fastrak_sim::trace::TraceRing;
+
+use crate::packet::Packet;
+
+/// A control-plane message between nodes.
+pub struct CtlMsg {
+    /// Sending node.
+    pub from: NodeId,
+    /// Typed body; receivers downcast to the protocol structs they speak.
+    pub body: Box<dyn Any>,
+}
+
+impl CtlMsg {
+    /// Wrap a typed body.
+    pub fn new<T: Any>(from: NodeId, body: T) -> CtlMsg {
+        CtlMsg {
+            from,
+            body: Box::new(body),
+        }
+    }
+
+    /// Downcast the body to a concrete message type.
+    pub fn downcast<T: Any>(self) -> Result<(NodeId, T), CtlMsg> {
+        let from = self.from;
+        match self.body.downcast::<T>() {
+            Ok(b) => Ok((from, *b)),
+            Err(body) => Err(CtlMsg { from, body }),
+        }
+    }
+
+    /// Peek at the body type without consuming.
+    pub fn is<T: Any>(&self) -> bool {
+        self.body.is::<T>()
+    }
+}
+
+impl std::fmt::Debug for CtlMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CtlMsg(from={})", self.from)
+    }
+}
+
+/// The event type flowing through the simulation kernel.
+#[derive(Debug)]
+pub enum Event {
+    /// A packet delivered to `port` of the receiving node.
+    Frame {
+        /// Ingress port index on the receiving node.
+        port: usize,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A self-scheduled timer. `tag` selects the subsystem; `a`/`b` carry
+    /// subsystem-specific identifiers (connection ids, epoch numbers, ...).
+    Timer {
+        /// Subsystem tag (see each component's timer constants).
+        tag: u64,
+        /// First auxiliary value.
+        a: u64,
+        /// Second auxiliary value.
+        b: u64,
+    },
+    /// A control-plane message.
+    Ctl(CtlMsg),
+}
+
+/// Shared kernel context: the global trace ring and the packet-id allocator.
+#[derive(Debug)]
+pub struct NetCtx {
+    /// Global trace ring (receiver-side packet capture, controller events).
+    pub trace: TraceRing,
+    next_packet_id: u64,
+}
+
+impl Default for NetCtx {
+    fn default() -> Self {
+        NetCtx {
+            trace: TraceRing::new(1 << 20),
+            next_packet_id: 0,
+        }
+    }
+}
+
+impl NetCtx {
+    /// A context with the default 1M-record trace ring (disabled).
+    pub fn new() -> NetCtx {
+        NetCtx::default()
+    }
+
+    /// Allocate a unique packet id.
+    pub fn alloc_packet_id(&mut self) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Hello(u32);
+    #[derive(Debug)]
+    struct Other;
+
+    #[test]
+    fn ctl_downcast_roundtrip() {
+        let msg = CtlMsg::new(3, Hello(7));
+        assert!(msg.is::<Hello>());
+        let (from, hello) = msg.downcast::<Hello>().unwrap();
+        assert_eq!(from, 3);
+        assert_eq!(hello, Hello(7));
+    }
+
+    #[test]
+    fn ctl_downcast_wrong_type_returns_message() {
+        let msg = CtlMsg::new(1, Hello(9));
+        let msg = msg.downcast::<Other>().unwrap_err();
+        // Still intact and downcastable to the right type.
+        let (_, hello) = msg.downcast::<Hello>().unwrap();
+        assert_eq!(hello.0, 9);
+    }
+
+    #[test]
+    fn packet_ids_unique() {
+        let mut ctx = NetCtx::new();
+        let a = ctx.alloc_packet_id();
+        let b = ctx.alloc_packet_id();
+        assert_ne!(a, b);
+    }
+}

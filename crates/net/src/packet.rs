@@ -1,0 +1,488 @@
+//! The simulated packet.
+//!
+//! On the hot path packets are structured metadata — flow key, L4 state,
+//! payload size, an encapsulation stack — rather than byte buffers; all
+//! sizes are derived from the real header formats in [`crate::headers`], and
+//! [`Packet::encode_wire`] / [`Packet::decode_wire`] can materialize and
+//! re-parse the actual bytes (used by tests to prove wire fidelity).
+
+use bytes::BytesMut;
+
+use crate::addr::{Ip, Mac, TenantId};
+use crate::flow::{FlowKey, Proto};
+use crate::headers::{
+    ethertype, EthernetHeader, GreHeader, HeaderError, Ipv4Header, TcpHeader, UdpHeader,
+    VxlanHeader,
+};
+use fastrak_sim::time::SimTime;
+
+/// Standard data-center MTU used throughout the paper's testbed (§3.1).
+pub const MTU: u32 = 1500;
+
+/// Maximum TCP payload per wire packet: MTU - IP(20) - TCP(20) - timestamp
+/// option (12), i.e. the 1448 bytes the paper uses as an application data
+/// size precisely because it fills one segment.
+pub const MSS: u32 = 1448;
+
+/// An encapsulation applied to a packet in flight, innermost first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encap {
+    /// 802.1Q VLAN tag identifying the tenant on the server↔ToR hop
+    /// (paper §4.2.1).
+    Vlan(u16),
+    /// GRE tunnel added by the ToR on the hardware path; `key` carries the
+    /// tenant ID, `dst` the destination ToR's provider IP (paper §4.1.3).
+    Gre {
+        /// Tenant ID in the GRE key field.
+        key: u32,
+        /// Outer source (this ToR).
+        src: Ip,
+        /// Outer destination (destination ToR).
+        dst: Ip,
+    },
+    /// VXLAN tunnel added by the vswitch on the software path; `vni` carries
+    /// the tenant ID, `dst` the destination *server's* provider IP (§2.2).
+    Vxlan {
+        /// 24-bit VXLAN network identifier.
+        vni: u32,
+        /// Outer source (this server).
+        src: Ip,
+        /// Outer destination (destination server).
+        dst: Ip,
+    },
+}
+
+impl Encap {
+    /// Extra on-the-wire bytes this encapsulation adds.
+    pub fn overhead(self) -> u32 {
+        match self {
+            Encap::Vlan(_) => 4,
+            Encap::Gre { .. } => (Ipv4Header::LEN + GreHeader::LEN) as u32,
+            Encap::Vxlan { .. } => VxlanHeader::ENCAP_OVERHEAD as u32,
+        }
+    }
+}
+
+/// L4 metadata carried by a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L4Meta {
+    /// A TCP segment. Sequence numbers are 64-bit internally (a 4 GB file
+    /// transfer must not wrap); [`Packet::encode_wire`] truncates to the
+    /// 32-bit wire representation.
+    Tcp {
+        /// Sequence number of the first payload byte.
+        seq: u64,
+        /// Cumulative acknowledgement number.
+        ack: u64,
+        /// TCP flags ([`crate::headers::tcp_flags`]).
+        flags: u8,
+    },
+    /// A UDP datagram.
+    Udp,
+}
+
+/// Which path a packet took out of (or into) a server; stamped by the
+/// bonding-driver flow placer so experiments can attribute per-path traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathTag {
+    /// Not yet placed.
+    #[default]
+    Unplaced,
+    /// Software path: VIF → vswitch → NIC.
+    Vif,
+    /// Hardware express lane: SR-IOV VF → NIC → ToR rules.
+    SrIov,
+}
+
+/// A packet in flight through the simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Unique id for tracing.
+    pub id: u64,
+    /// The (inner, tenant-space) flow this packet belongs to.
+    pub flow: FlowKey,
+    /// L4 metadata.
+    pub l4: L4Meta,
+    /// Application payload bytes in this packet (≤ MSS on the wire; larger
+    /// values represent a TSO super-segment until segmentation).
+    pub payload: u32,
+    /// Encapsulation stack, innermost first.
+    pub encaps: Vec<Encap>,
+    /// Path taken out of the source server.
+    pub path: PathTag,
+    /// When the *application* handed the packet to its socket (end-to-end
+    /// latency measurement).
+    pub sent_at: SimTime,
+    /// DSCP/QoS class requested by tenant QoS rules.
+    pub qos_class: u8,
+}
+
+impl Packet {
+    /// A payload-bearing packet with no encapsulation.
+    pub fn new(id: u64, flow: FlowKey, l4: L4Meta, payload: u32, sent_at: SimTime) -> Packet {
+        Packet {
+            id,
+            flow,
+            l4,
+            payload,
+            encaps: Vec::new(),
+            path: PathTag::Unplaced,
+            sent_at,
+            qos_class: 0,
+        }
+    }
+
+    /// Inner (pre-encap) wire length: Ethernet + IP + L4 + payload.
+    pub fn inner_wire_len(&self) -> u32 {
+        let l4 = match self.l4 {
+            L4Meta::Tcp { .. } => TcpHeader::LEN as u32,
+            L4Meta::Udp => UdpHeader::LEN as u32,
+        };
+        EthernetHeader::LEN as u32 + Ipv4Header::LEN as u32 + l4 + self.payload
+    }
+
+    /// Total on-the-wire length including all encapsulations.
+    pub fn wire_len(&self) -> u32 {
+        self.inner_wire_len() + self.encaps.iter().map(|e| e.overhead()).sum::<u32>()
+    }
+
+    /// Push an encapsulation (outermost last).
+    pub fn encap(&mut self, e: Encap) {
+        self.encaps.push(e);
+    }
+
+    /// Pop the outermost encapsulation.
+    pub fn decap(&mut self) -> Option<Encap> {
+        self.encaps.pop()
+    }
+
+    /// The outermost encapsulation, if any.
+    pub fn outer(&self) -> Option<&Encap> {
+        self.encaps.last()
+    }
+
+    /// The VLAN tag if the outermost encap is a VLAN.
+    pub fn outer_vlan(&self) -> Option<u16> {
+        match self.encaps.last() {
+            Some(Encap::Vlan(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Number of wire packets this (possibly TSO super-segment) packet
+    /// occupies when segmented to the MSS.
+    pub fn wire_segments(&self) -> u32 {
+        if self.payload == 0 {
+            1
+        } else {
+            self.payload.div_ceil(MSS)
+        }
+    }
+
+    /// Total bytes this packet occupies on the wire after TSO segmentation:
+    /// every MSS-sized segment repeats the full header stack. This is the
+    /// quantity link serialization and throughput accounting must use.
+    pub fn wire_bytes_total(&self) -> u64 {
+        let per_seg_overhead = self.wire_len() - self.payload;
+        self.payload as u64 + per_seg_overhead as u64 * self.wire_segments() as u64
+    }
+
+    /// Materialize the real wire bytes of this packet (headers only; the
+    /// payload is zero-filled). Innermost headers are emitted last.
+    pub fn encode_wire(&self, src_mac: Mac, dst_mac: Mac) -> BytesMut {
+        let mut buf = BytesMut::with_capacity(self.wire_len() as usize);
+        // Outer headers first, outermost encap first.
+        let mut stack: Vec<&Encap> = self.encaps.iter().collect();
+        stack.reverse(); // outermost first
+        let mut vlan_for_eth: Option<u16> = None;
+        // Collect the sizes under each encap layer.
+        let mut under: Vec<u32> = Vec::with_capacity(stack.len());
+        {
+            let mut acc = self.inner_wire_len();
+            for e in self.encaps.iter() {
+                under.push(acc);
+                acc += e.overhead();
+            }
+            under.reverse();
+        }
+        for (idx, e) in stack.iter().enumerate() {
+            match e {
+                Encap::Vlan(v) => {
+                    vlan_for_eth = Some(*v);
+                }
+                Encap::Gre { key, src, dst } => {
+                    EthernetHeader {
+                        dst: dst_mac,
+                        src: src_mac,
+                        vlan: vlan_for_eth.take(),
+                        ethertype: ethertype::IPV4,
+                    }
+                    .encode(&mut buf);
+                    Ipv4Header {
+                        src: *src,
+                        dst: *dst,
+                        protocol: Ipv4Header::PROTO_GRE,
+                        total_len: (under[idx] - EthernetHeader::LEN as u32
+                            + (Ipv4Header::LEN + GreHeader::LEN) as u32)
+                            as u16,
+                        dscp_ecn: self.qos_class << 2,
+                        ttl: 64,
+                        ident: self.id as u16,
+                    }
+                    .encode(&mut buf);
+                    GreHeader {
+                        key: *key,
+                        protocol: ethertype::IPV4,
+                    }
+                    .encode(&mut buf);
+                    // GRE carries the inner IP directly; no inner Ethernet
+                    // is emitted below (see `under_gre`).
+                }
+                Encap::Vxlan { vni, src, dst } => {
+                    EthernetHeader {
+                        dst: dst_mac,
+                        src: src_mac,
+                        vlan: vlan_for_eth.take(),
+                        ethertype: ethertype::IPV4,
+                    }
+                    .encode(&mut buf);
+                    let udp_len = (under[idx] + (UdpHeader::LEN + VxlanHeader::LEN) as u32) as u16;
+                    Ipv4Header {
+                        src: *src,
+                        dst: *dst,
+                        protocol: 17,
+                        total_len: udp_len + Ipv4Header::LEN as u16,
+                        dscp_ecn: self.qos_class << 2,
+                        ttl: 64,
+                        ident: self.id as u16,
+                    }
+                    .encode(&mut buf);
+                    UdpHeader {
+                        src_port: (self.flow.trace_hash() & 0x3fff) as u16 | 0xc000,
+                        dst_port: UdpHeader::VXLAN_PORT,
+                        length: udp_len,
+                    }
+                    .encode(&mut buf);
+                    VxlanHeader { vni: *vni }.encode(&mut buf);
+                }
+            }
+        }
+        // Inner Ethernet (skipped under GRE which carries IP directly; for
+        // simplicity we always emit it unless the outermost decap was GRE).
+        let under_gre = self
+            .encaps
+            .iter()
+            .any(|e| matches!(e, Encap::Gre { .. }));
+        if !under_gre {
+            EthernetHeader {
+                dst: dst_mac,
+                src: src_mac,
+                vlan: vlan_for_eth.take(),
+                ethertype: ethertype::IPV4,
+            }
+            .encode(&mut buf);
+        }
+        let l4_len = match self.l4 {
+            L4Meta::Tcp { .. } => TcpHeader::LEN,
+            L4Meta::Udp => UdpHeader::LEN,
+        } as u32;
+        Ipv4Header {
+            src: self.flow.src_ip,
+            dst: self.flow.dst_ip,
+            protocol: self.flow.proto.number(),
+            total_len: (Ipv4Header::LEN as u32 + l4_len + self.payload) as u16,
+            dscp_ecn: self.qos_class << 2,
+            ttl: 64,
+            ident: self.id as u16,
+        }
+        .encode(&mut buf);
+        match self.l4 {
+            L4Meta::Tcp { seq, ack, flags } => TcpHeader {
+                src_port: self.flow.src_port,
+                dst_port: self.flow.dst_port,
+                seq: seq as u32,
+                ack: ack as u32,
+                flags,
+                window: 0xffff,
+            }
+            .encode(&mut buf),
+            L4Meta::Udp => UdpHeader {
+                src_port: self.flow.src_port,
+                dst_port: self.flow.dst_port,
+                length: (UdpHeader::LEN as u32 + self.payload) as u16,
+            }
+            .encode(&mut buf),
+        }
+        buf.resize(buf.len() + self.payload as usize, 0);
+        buf
+    }
+
+    /// Parse the *inner* flow key back out of wire bytes produced by
+    /// [`Packet::encode_wire`] for a non-encapsulated packet.
+    pub fn decode_wire(tenant: TenantId, bytes: &[u8]) -> Result<FlowKey, HeaderError> {
+        let mut cur = bytes;
+        let _eth = EthernetHeader::decode(&mut cur)?;
+        let ip = Ipv4Header::decode(&mut cur)?;
+        let proto =
+            Proto::from_number(ip.protocol).ok_or(HeaderError::Malformed("ip protocol"))?;
+        let (src_port, dst_port) = match proto {
+            Proto::Tcp => {
+                let t = TcpHeader::decode(&mut cur)?;
+                (t.src_port, t.dst_port)
+            }
+            Proto::Udp => {
+                let u = UdpHeader::decode(&mut cur)?;
+                (u.src_port, u.dst_port)
+            }
+        };
+        Ok(FlowKey {
+            tenant,
+            src_ip: ip.src,
+            dst_ip: ip.dst,
+            proto,
+            src_port,
+            dst_port,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowKey {
+        FlowKey {
+            tenant: TenantId(3),
+            src_ip: Ip::new(10, 0, 0, 1),
+            dst_ip: Ip::new(10, 0, 0, 2),
+            proto: Proto::Tcp,
+            src_port: 40000,
+            dst_port: 11211,
+        }
+    }
+
+    fn pkt(payload: u32) -> Packet {
+        Packet::new(
+            1,
+            flow(),
+            L4Meta::Tcp {
+                seq: 100,
+                ack: 0,
+                flags: 0x10,
+            },
+            payload,
+            SimTime::ZERO,
+        )
+    }
+
+    #[test]
+    fn plain_wire_len() {
+        // ETH 14 + IP 20 + TCP 20 + payload.
+        assert_eq!(pkt(100).wire_len(), 154);
+        assert_eq!(pkt(0).wire_len(), 54);
+    }
+
+    #[test]
+    fn encap_overheads_accumulate() {
+        let mut p = pkt(100);
+        p.encap(Encap::Vlan(5));
+        assert_eq!(p.wire_len(), 158);
+        p.decap();
+        p.encap(Encap::Gre {
+            key: 3,
+            src: Ip::new(172, 31, 0, 1),
+            dst: Ip::new(172, 31, 1, 1),
+        });
+        assert_eq!(p.wire_len(), 154 + 28);
+        p.decap();
+        p.encap(Encap::Vxlan {
+            vni: 3,
+            src: Ip::new(172, 16, 0, 1),
+            dst: Ip::new(172, 16, 0, 2),
+        });
+        assert_eq!(p.wire_len(), 154 + 50);
+    }
+
+    #[test]
+    fn decap_lifo() {
+        let mut p = pkt(10);
+        p.encap(Encap::Vlan(5));
+        p.encap(Encap::Gre {
+            key: 3,
+            src: Ip::UNSPECIFIED,
+            dst: Ip::UNSPECIFIED,
+        });
+        assert!(matches!(p.decap(), Some(Encap::Gre { .. })));
+        assert_eq!(p.decap(), Some(Encap::Vlan(5)));
+        assert_eq!(p.decap(), None);
+    }
+
+    #[test]
+    fn outer_vlan_only_when_outermost() {
+        let mut p = pkt(10);
+        p.encap(Encap::Vlan(7));
+        assert_eq!(p.outer_vlan(), Some(7));
+        p.encap(Encap::Gre {
+            key: 1,
+            src: Ip::UNSPECIFIED,
+            dst: Ip::UNSPECIFIED,
+        });
+        assert_eq!(p.outer_vlan(), None);
+    }
+
+    #[test]
+    fn tso_segment_count() {
+        assert_eq!(pkt(0).wire_segments(), 1);
+        assert_eq!(pkt(1448).wire_segments(), 1);
+        assert_eq!(pkt(1449).wire_segments(), 2);
+        assert_eq!(pkt(32_000).wire_segments(), 23);
+    }
+
+    #[test]
+    fn wire_bytes_total_repeats_headers_per_segment() {
+        // Single-segment packet: identical to wire_len.
+        assert_eq!(pkt(100).wire_bytes_total(), pkt(100).wire_len() as u64);
+        // 2896-byte super-segment = 2 segments, headers (54B) twice.
+        let p = pkt(2 * 1448);
+        assert_eq!(p.wire_bytes_total(), 2 * 1448 + 2 * 54);
+        // Pure-ack packets still occupy one header's worth of wire.
+        assert_eq!(pkt(0).wire_bytes_total(), 54);
+    }
+
+    #[test]
+    fn wire_bytes_match_wire_len_plain() {
+        let p = pkt(64);
+        let bytes = p.encode_wire(Mac::local(1), Mac::local(2));
+        assert_eq!(bytes.len() as u32, p.wire_len());
+        let key = Packet::decode_wire(TenantId(3), &bytes).unwrap();
+        assert_eq!(key, flow());
+    }
+
+    #[test]
+    fn wire_bytes_match_wire_len_vxlan() {
+        let mut p = pkt(64);
+        p.encap(Encap::Vxlan {
+            vni: 3,
+            src: Ip::new(172, 16, 0, 1),
+            dst: Ip::new(172, 16, 0, 2),
+        });
+        let bytes = p.encode_wire(Mac::local(1), Mac::local(2));
+        assert_eq!(bytes.len() as u32, p.wire_len());
+    }
+
+    #[test]
+    fn wire_bytes_match_wire_len_vlan_gre() {
+        // The hardware path: VLAN to the ToR, then ToR swaps VLAN for GRE.
+        let mut p = pkt(64);
+        p.encap(Encap::Gre {
+            key: 3,
+            src: Ip::new(172, 31, 0, 1),
+            dst: Ip::new(172, 31, 1, 1),
+        });
+        let bytes = p.encode_wire(Mac::local(1), Mac::local(2));
+        // GRE carries the inner IP without an inner Ethernet on the real
+        // wire; the omitted inner Ethernet (-14) cancels the emitted outer
+        // Ethernet (+14), so the byte count matches wire_len() exactly.
+        assert_eq!(bytes.len() as u32, p.wire_len());
+    }
+}

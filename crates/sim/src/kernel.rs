@@ -1,0 +1,498 @@
+//! The discrete-event kernel: a time-ordered event queue plus a set of nodes.
+//!
+//! A **node** models one independently scheduled entity — in this repository a
+//! physical server (with its VMs, vswitch and NIC inside), a ToR switch, the
+//! fabric core, or a controller process. Nodes interact exclusively by
+//! sending each other timestamped events through [`Api::send`], which keeps
+//! the simulation deterministic and makes causality auditable in traces.
+//!
+//! The kernel is generic over the event type `E` and a shared context `C`
+//! (topology, global configuration, metric registries). Event delivery order
+//! is total: ties on timestamp break by schedule order (FIFO), so repeated
+//! runs replay identically.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::rng::Rng;
+use crate::time::{SimDuration, SimTime};
+
+/// Index of a node registered with the kernel.
+pub type NodeId = usize;
+
+/// Handle to a scheduled event; used to cancel timers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+/// A simulated entity that receives timestamped events.
+pub trait Node<E, C>: Any {
+    /// Handle one event addressed to this node. `api` gives access to the
+    /// clock, shared context, RNG, and event scheduling.
+    fn on_event(&mut self, ev: E, api: &mut Api<'_, E, C>);
+
+    /// Human-readable name for traces and panics.
+    fn name(&self) -> String {
+        "node".to_string()
+    }
+}
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    dst: NodeId,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Per-event view handed to [`Node::on_event`].
+///
+/// Splitting the kernel into `Api` + the node being delivered to lets the
+/// node mutate itself while scheduling follow-up events, without interior
+/// mutability.
+pub struct Api<'a, E, C> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The node currently handling an event.
+    pub self_id: NodeId,
+    /// Shared simulation context (topology, config, metrics).
+    pub ctx: &'a mut C,
+    /// Deterministic RNG (one shared stream; fork per node for isolation).
+    pub rng: &'a mut Rng,
+    queue: &'a mut BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: &'a mut u64,
+    cancelled: &'a mut HashSet<u64>,
+}
+
+impl<'a, E, C> Api<'a, E, C> {
+    /// Schedule `ev` for delivery to `dst` after `delay`.
+    pub fn send(&mut self, dst: NodeId, delay: SimDuration, ev: E) -> EventHandle {
+        self.send_at(dst, self.now + delay, ev)
+    }
+
+    /// Schedule `ev` for delivery to `dst` at absolute time `at` (clamped to
+    /// now if in the past).
+    pub fn send_at(&mut self, dst: NodeId, at: SimTime, ev: E) -> EventHandle {
+        let at = at.max(self.now);
+        let seq = *self.next_seq;
+        *self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            dst,
+            ev,
+        }));
+        EventHandle(seq)
+    }
+
+    /// Schedule an event to this node itself (timer idiom).
+    pub fn timer(&mut self, delay: SimDuration, ev: E) -> EventHandle {
+        self.send(self.self_id, delay, ev)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that already
+    /// fired is a harmless no-op.
+    pub fn cancel(&mut self, h: EventHandle) {
+        self.cancelled.insert(h.0);
+    }
+}
+
+/// The simulation kernel: nodes + event queue + clock.
+pub struct Kernel<E, C> {
+    nodes: Vec<Option<Box<dyn NodeObj<E, C>>>>,
+    names: Vec<String>,
+    queue: BinaryHeap<Reverse<Scheduled<E>>>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+    events_processed: u64,
+    /// Shared context available to every node during event handling.
+    pub ctx: C,
+    /// Root RNG stream.
+    pub rng: Rng,
+}
+
+/// Object-safe shim adding `Any`-based downcasting on top of [`Node`].
+trait NodeObj<E, C> {
+    fn on_event_obj(&mut self, ev: E, api: &mut Api<'_, E, C>);
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<E, C, T: Node<E, C>> NodeObj<E, C> for T {
+    fn on_event_obj(&mut self, ev: E, api: &mut Api<'_, E, C>) {
+        self.on_event(ev, api)
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl<E, C> Kernel<E, C> {
+    /// Create a kernel with the given shared context and RNG seed.
+    pub fn new(ctx: C, seed: u64) -> Self {
+        Kernel {
+            nodes: Vec::new(),
+            names: Vec::new(),
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            events_processed: 0,
+            ctx,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Register a node; returns its id. Ids are dense and assigned in
+    /// registration order (experiments rely on this for readable traces).
+    pub fn add_node<T: Node<E, C>>(&mut self, node: T) -> NodeId {
+        let id = self.nodes.len();
+        self.names.push(node.name());
+        self.nodes.push(Some(Box::new(node)));
+        id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Registered name of a node.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id]
+    }
+
+    /// Schedule an event from outside any node (harness setup).
+    pub fn post(&mut self, dst: NodeId, at: SimTime, ev: E) -> EventHandle {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            dst,
+            ev,
+        }));
+        EventHandle(seq)
+    }
+
+    /// Cancel an event scheduled via [`Kernel::post`] or [`Api::send`].
+    pub fn cancel(&mut self, h: EventHandle) {
+        self.cancelled.insert(h.0);
+    }
+
+    /// Immutable typed access to a node (harness inspection between events).
+    ///
+    /// # Panics
+    /// Panics if the id is invalid or the concrete type does not match.
+    pub fn node<T: Node<E, C>>(&self, id: NodeId) -> &T {
+        self.nodes[id]
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {id} is mid-delivery"))
+            .as_any()
+            .downcast_ref::<T>()
+            .unwrap_or_else(|| panic!("node {id} has unexpected type"))
+    }
+
+    /// Mutable typed access to a node (harness configuration between events).
+    ///
+    /// # Panics
+    /// Panics if the id is invalid or the concrete type does not match.
+    pub fn node_mut<T: Node<E, C>>(&mut self, id: NodeId) -> &mut T {
+        self.nodes[id]
+            .as_mut()
+            .unwrap_or_else(|| panic!("node {id} is mid-delivery"))
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("node {id} has unexpected type"))
+    }
+
+    /// Typed access to two distinct nodes at once.
+    pub fn node_pair_mut<A: Node<E, C>, B: Node<E, C>>(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+    ) -> (&mut A, &mut B) {
+        assert_ne!(a, b, "node_pair_mut requires distinct ids");
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (left, right) = self.nodes.split_at_mut(hi);
+        let lo_ref = left[lo].as_mut().expect("node mid-delivery").as_any_mut();
+        let hi_ref = right[0].as_mut().expect("node mid-delivery").as_any_mut();
+        if a < b {
+            (
+                lo_ref.downcast_mut::<A>().expect("type mismatch"),
+                hi_ref.downcast_mut::<B>().expect("type mismatch"),
+            )
+        } else {
+            (
+                hi_ref.downcast_mut::<A>().expect("type mismatch"),
+                lo_ref.downcast_mut::<B>().expect("type mismatch"),
+            )
+        }
+    }
+
+    /// Deliver the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        loop {
+            let Some(Reverse(item)) = self.queue.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&item.seq) {
+                continue;
+            }
+            debug_assert!(item.time >= self.now, "event queue time went backwards");
+            self.now = item.time;
+            self.events_processed += 1;
+            let mut node = self.nodes[item.dst]
+                .take()
+                .unwrap_or_else(|| panic!("node {} delivered to recursively", item.dst));
+            {
+                let mut api = Api {
+                    now: self.now,
+                    self_id: item.dst,
+                    ctx: &mut self.ctx,
+                    rng: &mut self.rng,
+                    queue: &mut self.queue,
+                    next_seq: &mut self.next_seq,
+                    cancelled: &mut self.cancelled,
+                };
+                node.on_event_obj(item.ev, &mut api);
+            }
+            self.nodes[item.dst] = Some(node);
+            return true;
+        }
+    }
+
+    /// Run until the queue is empty or simulated time would pass `deadline`.
+    /// Events at exactly `deadline` are delivered.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.next_event_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run until the event queue drains completely.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Timestamp of the next pending (non-cancelled) event, if any.
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if self.cancelled.contains(&head.seq) {
+                let seq = head.seq;
+                self.queue.pop();
+                self.cancelled.remove(&seq);
+                continue;
+            }
+            return Some(head.time);
+        }
+        None
+    }
+
+    /// Number of pending events (including cancelled tombstones).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Tick,
+    }
+
+    #[derive(Default)]
+    struct Ctx {
+        log: Vec<(u64, usize, u32)>,
+    }
+
+    struct Echo {
+        peer: Option<NodeId>,
+        received: Vec<u32>,
+        ticks: u32,
+    }
+
+    impl Node<Ev, Ctx> for Echo {
+        fn on_event(&mut self, ev: Ev, api: &mut Api<'_, Ev, Ctx>) {
+            match ev {
+                Ev::Ping(n) => {
+                    self.received.push(n);
+                    api.ctx.log.push((api.now.as_nanos(), api.self_id, n));
+                    if n > 0 {
+                        if let Some(peer) = self.peer {
+                            api.send(peer, SimDuration::from_micros(10), Ev::Ping(n - 1));
+                        }
+                    }
+                }
+                Ev::Tick => {
+                    self.ticks += 1;
+                    if self.ticks < 3 {
+                        api.timer(SimDuration::from_millis(1), Ev::Tick);
+                    }
+                }
+            }
+        }
+        fn name(&self) -> String {
+            "echo".into()
+        }
+    }
+
+    fn two_node_kernel() -> (Kernel<Ev, Ctx>, NodeId, NodeId) {
+        let mut k = Kernel::new(Ctx::default(), 1);
+        let a = k.add_node(Echo {
+            peer: None,
+            received: vec![],
+            ticks: 0,
+        });
+        let b = k.add_node(Echo {
+            peer: Some(a),
+            received: vec![],
+            ticks: 0,
+        });
+        k.node_mut::<Echo>(a).peer = Some(b);
+        (k, a, b)
+    }
+
+    #[test]
+    fn ping_pong_alternates_and_advances_time() {
+        let (mut k, a, b) = two_node_kernel();
+        k.post(a, SimTime::ZERO, Ev::Ping(4));
+        k.run_to_completion();
+        assert_eq!(k.node::<Echo>(a).received, vec![4, 2, 0]);
+        assert_eq!(k.node::<Echo>(b).received, vec![3, 1]);
+        // 4 forwarded pings at 10us apart.
+        assert_eq!(k.now(), SimTime::from_micros(40));
+        assert_eq!(k.events_processed(), 5);
+    }
+
+    #[test]
+    fn ties_break_in_fifo_order() {
+        let (mut k, a, b) = two_node_kernel();
+        k.node_mut::<Echo>(a).peer = None;
+        k.node_mut::<Echo>(b).peer = None;
+        k.post(b, SimTime::from_micros(5), Ev::Ping(0));
+        k.post(a, SimTime::from_micros(5), Ev::Ping(0));
+        k.run_to_completion();
+        // b was scheduled first at the same timestamp, so b logs first.
+        let order: Vec<usize> = k.ctx.log.iter().map(|&(_, id, _)| id).collect();
+        assert_eq!(order, vec![b, a]);
+    }
+
+    #[test]
+    fn self_timers_fire() {
+        let (mut k, a, _) = two_node_kernel();
+        k.post(a, SimTime::ZERO, Ev::Tick);
+        k.run_to_completion();
+        assert_eq!(k.node::<Echo>(a).ticks, 3);
+        assert_eq!(k.now(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let (mut k, a, _) = two_node_kernel();
+        k.post(a, SimTime::ZERO, Ev::Tick);
+        k.run_until(SimTime::from_micros(1500));
+        assert_eq!(k.node::<Echo>(a).ticks, 2); // ticks at 0 and 1ms.
+        assert_eq!(k.now(), SimTime::from_micros(1500));
+        k.run_to_completion();
+        assert_eq!(k.node::<Echo>(a).ticks, 3);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_fire() {
+        let (mut k, a, _) = two_node_kernel();
+        let h = k.post(a, SimTime::from_micros(5), Ev::Ping(0));
+        k.cancel(h);
+        k.post(a, SimTime::from_micros(9), Ev::Ping(0));
+        k.run_to_completion();
+        assert_eq!(k.node::<Echo>(a).received, vec![0]);
+        assert_eq!(k.events_processed(), 1);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let (mut k, a, _) = two_node_kernel();
+        let h = k.post(a, SimTime::ZERO, Ev::Ping(0));
+        k.run_to_completion();
+        k.cancel(h);
+        k.post(a, SimTime::from_micros(1), Ev::Ping(0));
+        k.run_to_completion();
+        assert_eq!(k.node::<Echo>(a).received.len(), 2);
+    }
+
+    #[test]
+    fn next_event_time_skips_cancelled() {
+        let (mut k, a, _) = two_node_kernel();
+        let h = k.post(a, SimTime::from_micros(5), Ev::Ping(0));
+        k.post(a, SimTime::from_micros(8), Ev::Ping(0));
+        k.cancel(h);
+        assert_eq!(k.next_event_time(), Some(SimTime::from_micros(8)));
+    }
+
+    #[test]
+    fn node_pair_mut_gives_both() {
+        let (mut k, a, b) = two_node_kernel();
+        let (na, nb) = k.node_pair_mut::<Echo, Echo>(a, b);
+        na.ticks = 7;
+        nb.ticks = 9;
+        assert_eq!(k.node::<Echo>(a).ticks, 7);
+        assert_eq!(k.node::<Echo>(b).ticks, 9);
+        // Reversed order too.
+        let (nb2, na2) = k.node_pair_mut::<Echo, Echo>(b, a);
+        assert_eq!(nb2.ticks, 9);
+        assert_eq!(na2.ticks, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn wrong_downcast_panics() {
+        struct Other;
+        impl Node<Ev, Ctx> for Other {
+            fn on_event(&mut self, _: Ev, _: &mut Api<'_, Ev, Ctx>) {}
+        }
+        let mut k = Kernel::new(Ctx::default(), 1);
+        let id = k.add_node(Other);
+        let _ = k.node::<Echo>(id);
+    }
+}

@@ -1,0 +1,138 @@
+//! Bounded drop-tail FIFO queue with byte and packet accounting.
+//!
+//! Used for NIC transmit rings, ToR egress queues, and the vswitch backlog.
+//! Drops are counted rather than silently discarded so experiments can report
+//! loss (Fig. 12 depends on losses during flow migration being visible to
+//! TCP as dup-acks).
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with drop-tail semantics.
+#[derive(Debug, Clone)]
+pub struct DropTailQueue<T> {
+    items: VecDeque<(T, u64)>,
+    max_packets: usize,
+    max_bytes: u64,
+    cur_bytes: u64,
+    enqueued: u64,
+    dropped: u64,
+}
+
+impl<T> DropTailQueue<T> {
+    /// Queue bounded by both packet count and byte depth.
+    pub fn new(max_packets: usize, max_bytes: u64) -> Self {
+        assert!(max_packets > 0 && max_bytes > 0);
+        DropTailQueue {
+            items: VecDeque::new(),
+            max_packets,
+            max_bytes,
+            cur_bytes: 0,
+            enqueued: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Attempt to enqueue `item` of `bytes`; returns `false` (and counts a
+    /// drop) when either bound would be exceeded.
+    pub fn push(&mut self, item: T, bytes: u64) -> bool {
+        if self.items.len() >= self.max_packets || self.cur_bytes + bytes > self.max_bytes {
+            self.dropped += 1;
+            return false;
+        }
+        self.items.push_back((item, bytes));
+        self.cur_bytes += bytes;
+        self.enqueued += 1;
+        true
+    }
+
+    /// Dequeue the head, if any.
+    pub fn pop(&mut self) -> Option<(T, u64)> {
+        let (item, bytes) = self.items.pop_front()?;
+        self.cur_bytes -= bytes;
+        Some((item, bytes))
+    }
+
+    /// Peek at the head without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front().map(|(t, _)| t)
+    }
+
+    /// Current queue length in packets.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Current queue depth in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.cur_bytes
+    }
+
+    /// Packets accepted since construction.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Packets dropped since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTailQueue::new(10, 10_000);
+        q.push('a', 100);
+        q.push('b', 100);
+        q.push('c', 100);
+        assert_eq!(q.pop().map(|(c, _)| c), Some('a'));
+        assert_eq!(q.pop().map(|(c, _)| c), Some('b'));
+        assert_eq!(q.pop().map(|(c, _)| c), Some('c'));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn packet_bound_drops_tail() {
+        let mut q = DropTailQueue::new(2, 10_000);
+        assert!(q.push(1, 1));
+        assert!(q.push(2, 1));
+        assert!(!q.push(3, 1));
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn byte_bound_drops_tail() {
+        let mut q = DropTailQueue::new(100, 2_000);
+        assert!(q.push(1, 1500));
+        assert!(!q.push(2, 1500));
+        assert!(q.push(3, 500)); // still fits by bytes
+        assert_eq!(q.dropped(), 1);
+        assert_eq!(q.bytes(), 2_000);
+    }
+
+    #[test]
+    fn bytes_released_on_pop() {
+        let mut q = DropTailQueue::new(100, 2_000);
+        q.push(1, 1500);
+        q.pop();
+        assert!(q.push(2, 1500));
+        assert_eq!(q.enqueued(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = DropTailQueue::new(10, 1_000);
+        q.push('x', 10);
+        assert_eq!(q.peek(), Some(&'x'));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The engine deliberately carries its own PRNG (xoshiro256** seeded through
+//! SplitMix64) instead of pulling in platform-dependent entropy: experiment
+//! runs must replay bit-identically from a seed, and the controller's
+//! decisions depend on measured traffic, so nondeterminism anywhere would make
+//! the regression tests flaky.
+
+use crate::time::SimDuration;
+
+/// xoshiro256** PRNG. Small, fast, and statistically solid for simulation use.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed. Every distinct seed produces an
+    /// independent-looking stream; seed 0 is fine.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Derive a child generator (e.g. one per node) that is decorrelated from
+    /// the parent stream.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        Rng::new(self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Lemire's multiply-shift with rejection for unbiased results.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` inclusive.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean >= 0.0);
+        let u = 1.0 - self.f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        SimDuration::from_secs_f64(self.exponential(mean.as_secs_f64()))
+    }
+
+    /// Standard normal via Box-Muller (single value; the pair is not cached so
+    /// the stream stays a pure function of call count).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Bounded Pareto sample (heavy-tailed flow sizes), shape `alpha`,
+    /// support `[lo, hi]`. Inverse-CDF: `x = (-(u*ha - u*la - ha)/(ha*la))^(-1/alpha)`
+    /// with `la = lo^alpha`, `ha = hi^alpha`.
+    pub fn pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        debug_assert!(alpha > 0.0 && lo > 0.0 && hi >= lo);
+        let u = self.f64();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// Zipf-like rank selection over `n` items with skew `s` (rank 0 is the
+    /// most popular). Uses rejection-free inverse-CDF over the harmonic
+    /// weights, computed lazily by the caller via [`ZipfTable`].
+    pub fn zipf(&mut self, table: &ZipfTable) -> usize {
+        table.sample(self)
+    }
+}
+
+/// Precomputed cumulative distribution for Zipf-distributed popularity.
+///
+/// Memcached key popularity and per-destination flow locality both use this:
+/// "temporal locality in flows" (paper §1) is what makes MFU offload work.
+#[derive(Clone, Debug)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Build the CDF for `n` ranks with exponent `s` (s = 0 is uniform).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf table needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().unwrap();
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the table has exactly one rank.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut root = Rng::new(7);
+        let mut a = root.fork(0);
+        let mut b = root.fork(1);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(3);
+        for _ in 0..10_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_is_unbiased_enough() {
+        let mut r = Rng::new(9);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.below(10) as usize] += 1;
+        }
+        for c in counts {
+            // Expect 10_000 +- ~5%.
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = Rng::new(5);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = r.range(3, 5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = Rng::new(11);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_converge() {
+        let mut r = Rng::new(13);
+        let n = 200_000;
+        let vals: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let table = ZipfTable::new(100, 1.0);
+        let mut r = Rng::new(17);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[r.zipf(&table)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniformish() {
+        let table = ZipfTable::new(10, 0.0);
+        let mut r = Rng::new(19);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.zipf(&table)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn pareto_within_bounds() {
+        let mut r = Rng::new(23);
+        for _ in 0..10_000 {
+            let v = r.pareto(1.2, 100.0, 1_000_000.0);
+            assert!((99.999..=1_000_000.001).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn pareto_is_heavy_tailed() {
+        // With alpha=1.2 most samples are near the low end.
+        let mut r = Rng::new(29);
+        let n = 50_000;
+        let below_10x = (0..n)
+            .filter(|_| r.pareto(1.2, 100.0, 1_000_000.0) < 1_000.0)
+            .count();
+        assert!(below_10x as f64 / n as f64 > 0.8);
+    }
+
+    #[test]
+    fn exp_duration_zero_mean_is_zero() {
+        let mut r = Rng::new(21);
+        assert_eq!(r.exp_duration(SimDuration::ZERO), SimDuration::ZERO);
+    }
+}

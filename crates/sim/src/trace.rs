@@ -1,0 +1,159 @@
+//! Bounded event trace ring, in the spirit of the paper's receiver-side
+//! packet capture (Fig. 12 uses tcpdump + netstat to show TCP sequence
+//! progression across a flow migration).
+//!
+//! Components push [`TraceRecord`]s; the harness drains them after a run.
+//! The ring is bounded so a long experiment cannot exhaust memory, and
+//! tracing is off by default (zero cost on the packet path beyond a branch).
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// One traced occurrence (packet seen, rule installed, decision made, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// Component that recorded it (free-form, e.g. "tor0", "vm2/tcp").
+    pub who: String,
+    /// Event kind tag, e.g. "tx", "rx", "offload", "demote".
+    pub kind: &'static str,
+    /// Up to three numeric attributes (seq number, bytes, flow hash, ...).
+    pub vals: [u64; 3],
+}
+
+/// A bounded ring of trace records.
+#[derive(Debug)]
+pub struct TraceRing {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Create a disabled ring holding at most `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        TraceRing {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Turn tracing on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Is tracing currently enabled?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (drops the oldest record when full).
+    pub fn push(&mut self, at: SimTime, who: impl Into<String>, kind: &'static str, vals: [u64; 3]) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord {
+            at,
+            who: who.into(),
+            kind,
+            vals,
+        });
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Records of a given kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// How many records were evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of held records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Drain all records, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        self.records.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut r = TraceRing::new(8);
+        r.push(SimTime::ZERO, "x", "tx", [0; 3]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut r = TraceRing::new(8);
+        r.set_enabled(true);
+        r.push(SimTime::from_micros(1), "a", "tx", [1, 0, 0]);
+        r.push(SimTime::from_micros(2), "a", "rx", [2, 0, 0]);
+        let v: Vec<_> = r.records().map(|rec| rec.vals[0]).collect();
+        assert_eq!(v, vec![1, 2]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut r = TraceRing::new(2);
+        r.set_enabled(true);
+        for i in 0..5u64 {
+            r.push(SimTime::ZERO, "a", "tx", [i, 0, 0]);
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        let v: Vec<_> = r.records().map(|rec| rec.vals[0]).collect();
+        assert_eq!(v, vec![3, 4]);
+    }
+
+    #[test]
+    fn kind_filter() {
+        let mut r = TraceRing::new(8);
+        r.set_enabled(true);
+        r.push(SimTime::ZERO, "a", "tx", [0; 3]);
+        r.push(SimTime::ZERO, "a", "rx", [0; 3]);
+        r.push(SimTime::ZERO, "a", "tx", [0; 3]);
+        assert_eq!(r.of_kind("tx").count(), 2);
+        assert_eq!(r.of_kind("rx").count(), 1);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut r = TraceRing::new(4);
+        r.set_enabled(true);
+        r.push(SimTime::ZERO, "a", "tx", [0; 3]);
+        let drained = r.drain();
+        assert_eq!(drained.len(), 1);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,579 @@
+//! The Top-of-Rack switch (paper §4.1.3, §4.2).
+//!
+//! An L3 switch with Virtual Routing and Forwarding (VRF) tables. FasTrak
+//! uses exactly the features commodity L3 ToRs already have:
+//!
+//! * **VLAN → VRF demux** on frames from servers' SR-IOV ports; the VLAN
+//!   tag identifies the tenant, selecting the VRF to consult.
+//! * **ACLs in the VRF**: explicit `allow` rules for offloaded flows;
+//!   everything else hits the default rule and is **dropped** — a malicious
+//!   VM pushing disallowed traffic through its VF gets nothing (§4.1.3).
+//! * **GRE tunneling**: the tunnel destination is the *destination ToR*; the
+//!   32-bit GRE key carries the tenant ID.
+//! * **QoS queues** selected by VRF rules (modelled as DSCP marking plus
+//!   per-class counters; queueing is FIFO per port).
+//! * **Rate limiters** for the hardware split of per-VM limits (§4.1.4).
+//! * **Bounded fast-path memory**: rule installation fails when the TCAM
+//!   budget is exhausted — the central constraint FasTrak's decision engine
+//!   manages.
+
+use std::collections::HashMap;
+
+use fastrak_net::addr::{Ip, TenantId, VlanId};
+use fastrak_net::ctrl::{CtrlReply, CtrlRequest, Dir, TorRule, TorStatEntry};
+use fastrak_net::event::{CtlMsg, Event, NetCtx};
+use fastrak_net::flow::FlowSpec;
+use fastrak_net::packet::{Encap, Packet};
+use fastrak_net::rules::{Action, QosClass};
+use fastrak_net::tables::{TableError, WildcardTable};
+use fastrak_net::tunnel::TunnelMapping;
+use fastrak_sim::kernel::{Api, Node, NodeId};
+use fastrak_sim::tbf::TokenBucket;
+use fastrak_sim::time::{serialization_delay, SimDuration, SimTime};
+
+/// Action attached to a VRF fast-path rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VrfAction {
+    /// Allow or deny.
+    pub action: Action,
+    /// GRE tunnel target when the destination is behind a remote ToR.
+    pub tunnel: Option<TunnelMapping>,
+    /// QoS class for matching traffic.
+    pub qos: Option<QosClass>,
+}
+
+/// Where a locally attached VM's hardware path terminates: which ToR port
+/// and what VLAN tag to use toward the server NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwDest {
+    /// ToR port wired to the server's SR-IOV NIC port.
+    pub port: usize,
+    /// Tenant VLAN on that server.
+    pub vlan: VlanId,
+}
+
+/// ToR configuration.
+#[derive(Debug, Clone)]
+pub struct TorConfig {
+    /// Name for traces.
+    pub name: String,
+    /// Provider IP (GRE tunnel endpoint).
+    pub provider_ip: Ip,
+    /// Number of ports.
+    pub n_ports: usize,
+    /// Per-port line rate (bits/sec).
+    pub port_rate_bps: u64,
+    /// Fast-path (TCAM/VRF) rule budget across all tenants.
+    pub fastpath_capacity: usize,
+    /// Cut-through switching latency.
+    pub latency: SimDuration,
+    /// Wire propagation to neighbours.
+    pub wire_latency: SimDuration,
+    /// Drop frames when a port is backlogged beyond this.
+    pub max_port_backlog: SimDuration,
+}
+
+impl TorConfig {
+    /// Defaults mirroring the testbed's Cisco Nexus 5596UP (96 × 10 Gbps).
+    pub fn testbed(name: impl Into<String>, rack: u8) -> TorConfig {
+        TorConfig {
+            name: name.into(),
+            provider_ip: Ip::provider_tor(rack),
+            n_ports: 96,
+            port_rate_bps: 10_000_000_000,
+            fastpath_capacity: 2048,
+            latency: SimDuration::from_micros(1),
+            wire_latency: SimDuration(300),
+            max_port_backlog: SimDuration::from_millis(12),
+        }
+    }
+}
+
+/// ToR statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TorStats {
+    /// Frames dropped by the default-deny ACL.
+    pub acl_drops: u64,
+    /// Frames dropped for lack of a host route / port backlog.
+    pub fwd_drops: u64,
+    /// Frames switched on the hardware (VRF) path.
+    pub hw_frames: u64,
+    /// Frames switched on the plain L2/L3 path.
+    pub sw_frames: u64,
+    /// GRE encapsulations performed.
+    pub gre_encaps: u64,
+    /// GRE decapsulations performed.
+    pub gre_decaps: u64,
+}
+
+/// What a port is wired to.
+#[derive(Debug, Clone, Copy)]
+struct PortWire {
+    peer: NodeId,
+    peer_port: usize,
+}
+
+/// The ToR switch node.
+pub struct Tor {
+    /// Static configuration.
+    pub cfg: TorConfig,
+    wires: Vec<Option<PortWire>>,
+    port_free: Vec<SimTime>,
+    /// Per-tenant VRF tables (share the global fast-path budget).
+    vrfs: HashMap<TenantId, WildcardTable<VrfAction>>,
+    /// VLAN → tenant mapping (VRF selection).
+    vlan_tenant: HashMap<u16, TenantId>,
+    /// Locally attached hardware destinations: (tenant, vm ip) → port+vlan.
+    hw_dests: HashMap<(TenantId, Ip), HwDest>,
+    /// Software-side destinations: provider server IP → port; used for
+    /// VXLAN outers and as the L2 table for untunneled tenant traffic.
+    ip_ports: HashMap<Ip, usize>,
+    /// L2 table for untunneled tenant traffic (baseline configs).
+    l2_ports: HashMap<(TenantId, Ip), usize>,
+    /// Default route to the fabric core (port index), for remote ToRs.
+    fabric_port: Option<usize>,
+    /// Hardware rate limiters: (tenant, vm ip, dir) → bucket.
+    hw_rates: HashMap<(TenantId, Ip, u8), TokenBucket>,
+    /// GRE tunnel mappings held in the VRFs (paper §4.1.3): destination
+    /// tenant VM → provider location. Counts against fast-path memory.
+    tunnel_dir: HashMap<(TenantId, Ip), TunnelMapping>,
+    /// Per-QoS-class frame counters.
+    pub qos_counters: HashMap<u8, u64>,
+    fastpath_used: usize,
+    /// Public counters.
+    pub stats: TorStats,
+}
+
+impl Tor {
+    /// Build a ToR.
+    pub fn new(cfg: TorConfig) -> Tor {
+        Tor {
+            wires: vec![None; cfg.n_ports],
+            port_free: vec![SimTime::ZERO; cfg.n_ports],
+            vrfs: HashMap::new(),
+            vlan_tenant: HashMap::new(),
+            hw_dests: HashMap::new(),
+            ip_ports: HashMap::new(),
+            l2_ports: HashMap::new(),
+            fabric_port: None,
+            hw_rates: HashMap::new(),
+            tunnel_dir: HashMap::new(),
+            qos_counters: HashMap::new(),
+            fastpath_used: 0,
+            stats: TorStats::default(),
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------ wiring --
+
+    /// Wire `port` to a neighbour's ingress port.
+    pub fn wire_port(&mut self, port: usize, peer: NodeId, peer_port: usize) {
+        self.wires[port] = Some(PortWire { peer, peer_port });
+    }
+
+    /// Declare the port leading to the fabric core.
+    pub fn set_fabric_port(&mut self, port: usize) {
+        self.fabric_port = Some(port);
+    }
+
+    /// Map a VLAN to its tenant (VRF selection).
+    pub fn map_vlan(&mut self, vlan: VlanId, tenant: TenantId) {
+        self.vlan_tenant.insert(vlan.0, tenant);
+    }
+
+    /// Register a locally attached VM's hardware destination.
+    pub fn add_hw_dest(&mut self, tenant: TenantId, vm_ip: Ip, dest: HwDest) {
+        self.hw_dests.insert((tenant, vm_ip), dest);
+    }
+
+    /// Remove a hardware destination (VM migrated away).
+    pub fn remove_hw_dest(&mut self, tenant: TenantId, vm_ip: Ip) {
+        self.hw_dests.remove(&(tenant, vm_ip));
+    }
+
+    /// Register a provider-IP route (server or remote ToR) out a port.
+    pub fn add_ip_route(&mut self, ip: Ip, port: usize) {
+        self.ip_ports.insert(ip, port);
+    }
+
+    /// Register an L2 destination for untunneled tenant traffic.
+    pub fn add_l2_route(&mut self, tenant: TenantId, vm_ip: Ip, port: usize) {
+        self.l2_ports.insert((tenant, vm_ip), port);
+    }
+
+    /// Remove an L2 destination.
+    pub fn remove_l2_route(&mut self, tenant: TenantId, vm_ip: Ip) {
+        self.l2_ports.remove(&(tenant, vm_ip));
+    }
+
+    // --------------------------------------------------------- fast path --
+
+    /// Remaining fast-path rule budget.
+    pub fn fastpath_free(&self) -> usize {
+        self.cfg.fastpath_capacity - self.fastpath_used
+    }
+
+    /// Rules currently installed.
+    pub fn fastpath_used(&self) -> usize {
+        self.fastpath_used
+    }
+
+    /// Install one VRF rule; fails when fast-path memory is exhausted.
+    pub fn install_rule(&mut self, rule: &TorRule) -> Result<(), TableError> {
+        if self.fastpath_used >= self.cfg.fastpath_capacity {
+            return Err(TableError::CapacityExhausted {
+                capacity: self.cfg.fastpath_capacity,
+            });
+        }
+        let vrf = self
+            .vrfs
+            .entry(rule.tenant)
+            .or_insert_with(|| WildcardTable::new(usize::MAX >> 1));
+        vrf.install(
+            rule.spec,
+            rule.priority,
+            VrfAction {
+                action: rule.action,
+                tunnel: rule.tunnel,
+                qos: rule.qos,
+            },
+        )?;
+        self.fastpath_used += 1;
+        Ok(())
+    }
+
+    /// Remove VRF rules matching (tenant, spec) exactly. Returns removed
+    /// count.
+    pub fn remove_rule(&mut self, tenant: TenantId, spec: &FlowSpec) -> usize {
+        let Some(vrf) = self.vrfs.get_mut(&tenant) else {
+            return 0;
+        };
+        let n = vrf.remove_spec(spec);
+        self.fastpath_used -= n;
+        n
+    }
+
+    /// Install a GRE tunnel mapping in the VRF fast path.
+    pub fn install_tunnel(
+        &mut self,
+        tenant: TenantId,
+        vm_ip: Ip,
+        m: TunnelMapping,
+    ) -> Result<(), TableError> {
+        if self.fastpath_used >= self.cfg.fastpath_capacity {
+            return Err(TableError::CapacityExhausted {
+                capacity: self.cfg.fastpath_capacity,
+            });
+        }
+        if self.tunnel_dir.insert((tenant, vm_ip), m).is_none() {
+            self.fastpath_used += 1;
+        }
+        Ok(())
+    }
+
+    /// Remove a GRE tunnel mapping.
+    pub fn remove_tunnel(&mut self, tenant: TenantId, vm_ip: Ip) -> bool {
+        let removed = self.tunnel_dir.remove(&(tenant, vm_ip)).is_some();
+        if removed {
+            self.fastpath_used -= 1;
+        }
+        removed
+    }
+
+    /// Dump per-rule statistics across all VRFs.
+    pub fn dump_rule_stats(&self) -> Vec<TorStatEntry> {
+        let mut out = Vec::new();
+        for (&tenant, vrf) in &self.vrfs {
+            for e in vrf.iter() {
+                out.push(TorStatEntry {
+                    tenant,
+                    spec: e.spec,
+                    packets: e.stats.count,
+                    bytes: e.stats.bytes,
+                });
+            }
+        }
+        out
+    }
+
+    /// Configure a hardware rate limit.
+    pub fn set_hw_rate(&mut self, tenant: TenantId, vm_ip: Ip, dir: Dir, bps: u64) {
+        let d = match dir {
+            Dir::Egress => 0,
+            Dir::Ingress => 1,
+        };
+        let burst = (bps / 8 / 100).max(64_000);
+        self.hw_rates
+            .insert((tenant, vm_ip, d), TokenBucket::new(bps.max(1), burst));
+    }
+
+    fn hw_shape(&mut self, tenant: TenantId, vm_ip: Ip, dir: Dir, now: SimTime, bytes: u64) -> SimTime {
+        let d = match dir {
+            Dir::Egress => 0,
+            Dir::Ingress => 1,
+        };
+        match self.hw_rates.get_mut(&(tenant, vm_ip, d)) {
+            Some(tb) => tb.acquire(now, bytes),
+            None => now,
+        }
+    }
+
+    // ------------------------------------------------------- forwarding --
+
+    fn send_out(&mut self, api: &mut Api<'_, Event, NetCtx>, port: usize, at: SimTime, pkt: Packet) {
+        let Some(wire) = self.wires[port] else {
+            self.stats.fwd_drops += 1;
+            return;
+        };
+        let at = at.max(api.now) + self.cfg.latency;
+        let start = at.max(self.port_free[port]);
+        if start.since(at) > self.cfg.max_port_backlog {
+            self.stats.fwd_drops += 1;
+            return;
+        }
+        let end = start + serialization_delay(pkt.wire_bytes_total(), self.cfg.port_rate_bps);
+        self.port_free[port] = end;
+        api.send_at(
+            wire.peer,
+            end + self.cfg.wire_latency,
+            Event::Frame {
+                port: wire.peer_port,
+                pkt,
+            },
+        );
+    }
+
+    /// Frame from a server's SR-IOV port: VLAN → VRF, ACL, GRE encap or
+    /// local hardware delivery (§4.2.1).
+    fn on_hw_frame(&mut self, api: &mut Api<'_, Event, NetCtx>, mut pkt: Packet) {
+        let Some(vlan) = pkt.outer_vlan() else {
+            // Untagged frame on the hw side: not FasTrak traffic; drop.
+            self.stats.acl_drops += 1;
+            return;
+        };
+        let Some(&tenant) = self.vlan_tenant.get(&vlan) else {
+            self.stats.acl_drops += 1;
+            return;
+        };
+        if tenant != pkt.flow.tenant {
+            // Spoofed tenant: the VLAN says otherwise. Drop.
+            self.stats.acl_drops += 1;
+            return;
+        }
+        pkt.decap(); // ToR removes the VLAN tag (§4.2.1)
+        let wire = pkt.wire_bytes_total();
+        let action = {
+            let Some(vrf) = self.vrfs.get_mut(&tenant) else {
+                self.stats.acl_drops += 1;
+                return;
+            };
+            match vrf.lookup(&pkt.flow, wire) {
+                Some(a) if a.action == Action::Allow => *a,
+                // Default rule: deny (§4.1.3).
+                _ => {
+                    self.stats.acl_drops += 1;
+                    return;
+                }
+            }
+        };
+        self.stats.hw_frames += 1;
+        if let Some(QosClass(c)) = action.qos {
+            pkt.qos_class = c;
+            *self.qos_counters.entry(c).or_insert(0) += 1;
+        }
+        // Egress hardware rate limit for the source VM.
+        let at = self.hw_shape(tenant, pkt.flow.src_ip, Dir::Egress, api.now, wire);
+        // Destination resolution: locally attached VMs first, then the VRF
+        // tunnel directory, then a per-rule tunnel override.
+        if self.hw_dests.contains_key(&(tenant, pkt.flow.dst_ip)) {
+            self.deliver_hw_local(api, tenant, at, pkt);
+            return;
+        }
+        let mapping = self
+            .tunnel_dir
+            .get(&(tenant, pkt.flow.dst_ip))
+            .copied()
+            .or(action.tunnel);
+        match mapping {
+            Some(m) if m.tor_ip != self.cfg.provider_ip => {
+                // Remote: GRE-encapsulate to the destination ToR.
+                pkt.encap(Encap::Gre {
+                    key: tenant.0,
+                    src: self.cfg.provider_ip,
+                    dst: m.tor_ip,
+                });
+                self.stats.gre_encaps += 1;
+                let port = self
+                    .ip_ports
+                    .get(&m.tor_ip)
+                    .copied()
+                    .or(self.fabric_port);
+                match port {
+                    Some(p) => self.send_out(api, p, at, pkt),
+                    None => self.stats.fwd_drops += 1,
+                }
+            }
+            _ => {
+                // No way to reach the destination on the hardware path.
+                self.stats.fwd_drops += 1;
+            }
+        }
+    }
+
+    /// Deliver to a locally attached VM's VF: tag the tenant VLAN and send
+    /// out the server's SR-IOV port (§4.2.2), applying the ingress hw limit.
+    fn deliver_hw_local(
+        &mut self,
+        api: &mut Api<'_, Event, NetCtx>,
+        tenant: TenantId,
+        at: SimTime,
+        mut pkt: Packet,
+    ) {
+        let wire = pkt.wire_bytes_total();
+        let at = self.hw_shape(tenant, pkt.flow.dst_ip, Dir::Ingress, at, wire);
+        let Some(&dest) = self.hw_dests.get(&(tenant, pkt.flow.dst_ip)) else {
+            self.stats.fwd_drops += 1;
+            return;
+        };
+        pkt.encap(Encap::Vlan(dest.vlan.0));
+        self.send_out(api, dest.port, at, pkt);
+    }
+
+    /// Frame on the software side or from the fabric: GRE termination,
+    /// VXLAN/IP routing, or L2 switching for untunneled tenant traffic.
+    fn on_sw_frame(&mut self, api: &mut Api<'_, Event, NetCtx>, mut pkt: Packet) {
+        match pkt.outer().copied() {
+            Some(Encap::Gre { key, dst, .. }) => {
+                if dst == self.cfg.provider_ip {
+                    // Terminate: GRE key identifies the tenant VRF (§4.2.2).
+                    pkt.decap();
+                    self.stats.gre_decaps += 1;
+                    let tenant = TenantId(key);
+                    if tenant != pkt.flow.tenant {
+                        self.stats.acl_drops += 1;
+                        return;
+                    }
+                    let wire = pkt.wire_bytes_total();
+                    let allowed = match self.vrfs.get_mut(&tenant) {
+                        Some(vrf) => matches!(
+                            vrf.lookup(&pkt.flow, wire),
+                            Some(a) if a.action == Action::Allow
+                        ),
+                        None => false,
+                    };
+                    if !allowed {
+                        self.stats.acl_drops += 1;
+                        return;
+                    }
+                    self.stats.hw_frames += 1;
+                    self.deliver_hw_local(api, tenant, api.now, pkt);
+                } else {
+                    // Transit GRE: forward toward the destination ToR.
+                    let port = self.ip_ports.get(&dst).copied().or(self.fabric_port);
+                    match port {
+                        Some(p) => self.send_out(api, p, api.now, pkt),
+                        None => self.stats.fwd_drops += 1,
+                    }
+                }
+            }
+            Some(Encap::Vxlan { dst, .. }) => {
+                // Software tunnel: route the outer provider IP.
+                self.stats.sw_frames += 1;
+                let port = self.ip_ports.get(&dst).copied().or(self.fabric_port);
+                match port {
+                    Some(p) => self.send_out(api, p, api.now, pkt),
+                    None => self.stats.fwd_drops += 1,
+                }
+            }
+            _ => {
+                // Untunneled tenant traffic (baseline configs): L2 switch on
+                // (tenant, dst VM IP).
+                self.stats.sw_frames += 1;
+                match self.l2_ports.get(&(pkt.flow.tenant, pkt.flow.dst_ip)) {
+                    Some(&p) => self.send_out(api, p, api.now, pkt),
+                    None => self.stats.fwd_drops += 1,
+                }
+            }
+        }
+    }
+
+    fn on_ctrl(&mut self, api: &mut Api<'_, Event, NetCtx>, from: NodeId, req: CtrlRequest) {
+        /// Switch control-plane op latency (rule install via switch agent).
+        const CTRL_LATENCY: SimDuration = SimDuration(200_000);
+        match req {
+            CtrlRequest::DumpFlowStats { xid } => {
+                let entries = self.dump_rule_stats();
+                api.send(
+                    from,
+                    CTRL_LATENCY,
+                    Event::Ctl(CtlMsg::new(
+                        api.self_id,
+                        CtrlReply::TorFlowStats { xid, entries },
+                    )),
+                );
+            }
+            CtrlRequest::InstallTorRules { rules, xid } => {
+                let mut failed = false;
+                for r in &rules {
+                    if self.install_rule(r).is_err() {
+                        failed = true;
+                        break;
+                    }
+                }
+                let reply = if failed {
+                    CtrlReply::Error {
+                        xid,
+                        reason: "fast-path memory exhausted",
+                    }
+                } else {
+                    CtrlReply::Ack { xid }
+                };
+                api.send(from, CTRL_LATENCY, Event::Ctl(CtlMsg::new(api.self_id, reply)));
+            }
+            CtrlRequest::RemoveTorRules { rules } => {
+                for (tenant, spec) in &rules {
+                    self.remove_rule(*tenant, spec);
+                }
+            }
+            CtrlRequest::SetHwRate {
+                tenant,
+                vm_ip,
+                dir,
+                bps,
+            } => {
+                self.set_hw_rate(tenant, vm_ip, dir, bps);
+            }
+            // Server-side requests: not ours.
+            CtrlRequest::InstallPlacerRule { .. }
+            | CtrlRequest::RemovePlacerRule { .. }
+            | CtrlRequest::SetVifRate { .. } => {}
+        }
+    }
+}
+
+impl Node<Event, NetCtx> for Tor {
+    fn on_event(&mut self, ev: Event, api: &mut Api<'_, Event, NetCtx>) {
+        match ev {
+            Event::Frame { port: _, pkt } => {
+                // VLAN-tagged frames only originate from SR-IOV server
+                // ports; everything else takes the software pipeline.
+                if pkt.outer_vlan().is_some() {
+                    self.on_hw_frame(api, pkt);
+                } else {
+                    self.on_sw_frame(api, pkt);
+                }
+            }
+            Event::Ctl(msg) => {
+                if let Ok((from, req)) = msg.downcast::<CtrlRequest>() {
+                    self.on_ctrl(api, from, req);
+                }
+            }
+            Event::Timer { tag, .. } => panic!("{}: unexpected timer {tag}", self.cfg.name),
+        }
+    }
+
+    fn name(&self) -> String {
+        self.cfg.name.clone()
+    }
+}

@@ -1,0 +1,340 @@
+//! The per-VM connection stack: demultiplexes packets to connections,
+//! accepts incoming connections on listening ports, and multiplexes
+//! transmissions fairly (round-robin) across connections — the guest-kernel
+//! role in the simulated VM.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use fastrak_net::flow::FlowKey;
+use fastrak_net::headers::tcp_flags;
+use fastrak_net::packet::{L4Meta, Packet};
+use fastrak_sim::time::SimTime;
+
+use crate::tcp::{SegmentPlan, TcpConfig, TcpConn};
+
+/// Identifier of a connection within one stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u32);
+
+/// Socket-level events the application layer consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SockEvent {
+    /// An outgoing connection completed its handshake.
+    Connected(ConnId),
+    /// A listening port accepted a new connection.
+    Accepted {
+        /// The new connection.
+        conn: ConnId,
+        /// The listening port that accepted it.
+        port: u16,
+    },
+    /// In-order bytes arrived on a connection.
+    Delivered {
+        /// The connection.
+        conn: ConnId,
+        /// Newly delivered byte count.
+        bytes: u64,
+    },
+}
+
+/// A VM's TCP stack.
+#[derive(Debug, Clone)]
+pub struct TcpStack {
+    cfg: TcpConfig,
+    conns: Vec<TcpConn>,
+    by_flow: HashMap<FlowKey, usize>,
+    listeners: HashSet<u16>,
+    events: VecDeque<SockEvent>,
+    rr_cursor: usize,
+}
+
+impl TcpStack {
+    /// An empty stack with the given TCP configuration.
+    pub fn new(cfg: TcpConfig) -> TcpStack {
+        TcpStack {
+            cfg,
+            conns: Vec::new(),
+            by_flow: HashMap::new(),
+            listeners: HashSet::new(),
+            events: VecDeque::new(),
+            rr_cursor: 0,
+        }
+    }
+
+    /// Start accepting connections on `port`.
+    pub fn listen(&mut self, port: u16) {
+        self.listeners.insert(port);
+    }
+
+    /// Open a client connection with the given outgoing flow key. The SYN is
+    /// emitted by the next [`TcpStack::poll_transmit`].
+    pub fn connect(&mut self, flow: FlowKey) -> ConnId {
+        debug_assert!(
+            !self.by_flow.contains_key(&flow),
+            "duplicate connection for {flow:?}"
+        );
+        let id = self.conns.len();
+        self.conns.push(TcpConn::client(flow, self.cfg));
+        self.by_flow.insert(flow, id);
+        ConnId(id as u32)
+    }
+
+    /// Queue an application write on `conn`; false when the send buffer is
+    /// full.
+    pub fn app_send(&mut self, conn: ConnId, bytes: u64) -> bool {
+        self.conns[conn.0 as usize].app_send(bytes)
+    }
+
+    /// Access a connection (stats, state).
+    pub fn conn(&self, id: ConnId) -> &TcpConn {
+        &self.conns[id.0 as usize]
+    }
+
+    /// Mutable access (tests, fault injection).
+    pub fn conn_mut(&mut self, id: ConnId) -> &mut TcpConn {
+        &mut self.conns[id.0 as usize]
+    }
+
+    /// All connection ids.
+    pub fn conn_ids(&self) -> impl Iterator<Item = ConnId> {
+        (0..self.conns.len() as u32).map(ConnId)
+    }
+
+    /// Number of connections (open forever; no teardown in this model).
+    pub fn len(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// True when no connections exist.
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty()
+    }
+
+    /// The connection id owning an outgoing flow key.
+    pub fn conn_by_flow(&self, flow: &FlowKey) -> Option<ConnId> {
+        self.by_flow.get(flow).map(|&i| ConnId(i as u32))
+    }
+
+    /// Feed a received packet into the stack.
+    pub fn on_packet(&mut self, now: SimTime, pkt: &Packet) {
+        let L4Meta::Tcp { seq, ack, flags } = pkt.l4 else {
+            return; // non-TCP is dropped by this stack
+        };
+        // The sender's flow reversed is our outgoing flow key.
+        let ours = pkt.flow.reverse();
+        let idx = match self.by_flow.get(&ours) {
+            Some(&i) => i,
+            None => {
+                // New inbound connection?
+                if flags & tcp_flags::SYN != 0
+                    && flags & tcp_flags::ACK == 0
+                    && self.listeners.contains(&pkt.flow.dst_port)
+                {
+                    let id = self.conns.len();
+                    self.conns.push(TcpConn::server(ours, self.cfg));
+                    self.by_flow.insert(ours, id);
+                    self.events.push_back(SockEvent::Accepted {
+                        conn: ConnId(id as u32),
+                        port: pkt.flow.dst_port,
+                    });
+                    return; // the SYN itself carries no data
+                }
+                return; // no listener: drop (RST not modelled)
+            }
+        };
+        let out = self.conns[idx].on_segment(now, seq, ack, flags, pkt.payload as u64);
+        if out.connected {
+            self.events.push_back(SockEvent::Connected(ConnId(idx as u32)));
+        }
+        if out.delivered > 0 {
+            self.events.push_back(SockEvent::Delivered {
+                conn: ConnId(idx as u32),
+                bytes: out.delivered,
+            });
+        }
+    }
+
+    /// Produce the next segment any connection wants to send, round-robin
+    /// across connections for fairness (netperf's threads share the link).
+    pub fn poll_transmit(&mut self, now: SimTime, seg_limit: u32) -> Option<(ConnId, SegmentPlan)> {
+        let n = self.conns.len();
+        for off in 0..n {
+            let idx = (self.rr_cursor + off) % n;
+            if let Some(plan) = self.conns[idx].poll_transmit(now, seg_limit) {
+                self.rr_cursor = (idx + 1) % n;
+                return Some((ConnId(idx as u32), plan));
+            }
+        }
+        None
+    }
+
+    /// Earliest timer deadline across all connections.
+    pub fn next_timer(&self) -> Option<SimTime> {
+        self.conns
+            .iter()
+            .filter_map(|c| c.next_timer().map(|(t, _)| t))
+            .min()
+    }
+
+    /// Fire all timers due at `now`. Follow with [`TcpStack::poll_transmit`].
+    pub fn on_timer(&mut self, now: SimTime) {
+        for c in &mut self.conns {
+            while let Some((deadline, which)) = c.next_timer() {
+                if deadline > now {
+                    break;
+                }
+                c.on_timer(now, which);
+                // on_timer may not clear the deadline if stale; guard against
+                // an infinite loop by breaking when nothing changed.
+                if c.next_timer().map(|(t, _)| t) == Some(deadline) {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drain pending socket events.
+    pub fn drain_events(&mut self) -> Vec<SockEvent> {
+        self.events.drain(..).collect()
+    }
+
+    /// Are there pending socket events?
+    pub fn has_events(&self) -> bool {
+        !self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastrak_net::addr::{Ip, TenantId};
+    use fastrak_net::flow::Proto;
+
+    fn flow(src_port: u16) -> FlowKey {
+        FlowKey {
+            tenant: TenantId(1),
+            src_ip: Ip::new(10, 0, 0, 1),
+            dst_ip: Ip::new(10, 0, 0, 2),
+            proto: Proto::Tcp,
+            src_port,
+            dst_port: 7000,
+        }
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    /// Shuttle packets between two stacks until quiescent.
+    fn pump(a: &mut TcpStack, b: &mut TcpStack, now_us: &mut u64) {
+        loop {
+            let mut moved = false;
+            while let Some((id, plan)) = a.poll_transmit(t(*now_us), 65_000) {
+                let pkt = mk_pkt(a.conn(id).flow, plan);
+                b.on_packet(t(*now_us + 10), &pkt);
+                *now_us += 10;
+                moved = true;
+            }
+            while let Some((id, plan)) = b.poll_transmit(t(*now_us), 65_000) {
+                let pkt = mk_pkt(b.conn(id).flow, plan);
+                a.on_packet(t(*now_us + 10), &pkt);
+                *now_us += 10;
+                moved = true;
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    fn mk_pkt(flow: FlowKey, plan: SegmentPlan) -> Packet {
+        Packet::new(
+            0,
+            flow,
+            L4Meta::Tcp {
+                seq: plan.seq,
+                ack: plan.ack,
+                flags: plan.flags,
+            },
+            plan.len,
+            t(0),
+        )
+    }
+
+    #[test]
+    fn listen_accept_connect_deliver() {
+        let mut client = TcpStack::new(TcpConfig::default());
+        let mut server = TcpStack::new(TcpConfig::default());
+        server.listen(7000);
+        let c = client.connect(flow(40_000));
+        let mut now = 0;
+        pump(&mut client, &mut server, &mut now);
+        let cli_events = client.drain_events();
+        assert!(cli_events.contains(&SockEvent::Connected(c)));
+        let srv_events = server.drain_events();
+        assert!(matches!(
+            srv_events[0],
+            SockEvent::Accepted { port: 7000, .. }
+        ));
+
+        // Send data and observe delivery.
+        client.app_send(c, 5000);
+        pump(&mut client, &mut server, &mut now);
+        let delivered: u64 = server
+            .drain_events()
+            .iter()
+            .filter_map(|e| match e {
+                SockEvent::Delivered { bytes, .. } => Some(*bytes),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(delivered, 5000);
+    }
+
+    #[test]
+    fn syn_to_closed_port_dropped() {
+        let mut client = TcpStack::new(TcpConfig::default());
+        let mut server = TcpStack::new(TcpConfig::default());
+        // No listener installed.
+        let _c = client.connect(flow(40_001));
+        let mut now = 0;
+        pump(&mut client, &mut server, &mut now);
+        assert!(server.is_empty());
+        assert!(client.drain_events().is_empty());
+    }
+
+    #[test]
+    fn two_connections_round_robin() {
+        let mut client = TcpStack::new(TcpConfig::default());
+        let mut server = TcpStack::new(TcpConfig::default());
+        server.listen(7000);
+        let c1 = client.connect(flow(40_002));
+        let c2 = client.connect(flow(40_003));
+        let mut now = 0;
+        pump(&mut client, &mut server, &mut now);
+        client.drain_events();
+        client.app_send(c1, 100);
+        client.app_send(c2, 100);
+        let (id_a, _) = client.poll_transmit(t(now), 65_000).unwrap();
+        let (id_b, _) = client.poll_transmit(t(now), 65_000).unwrap();
+        assert_ne!(id_a, id_b, "round robin must alternate connections");
+    }
+
+    #[test]
+    fn conn_by_flow_resolves() {
+        let mut client = TcpStack::new(TcpConfig::default());
+        let c = client.connect(flow(40_004));
+        assert_eq!(client.conn_by_flow(&flow(40_004)), Some(c));
+        assert_eq!(client.conn_by_flow(&flow(1)), None);
+    }
+
+    #[test]
+    fn stack_timer_aggregates_connections() {
+        let mut client = TcpStack::new(TcpConfig::default());
+        let _ = client.connect(flow(40_005));
+        // SYN not yet sent: no timer.
+        assert!(client.next_timer().is_none());
+        let _ = client.poll_transmit(t(0), 65_000).unwrap(); // SYN out
+        assert!(client.next_timer().is_some());
+    }
+}

@@ -1,0 +1,966 @@
+//! The TCP connection state machine (sans-IO).
+//!
+//! See the crate docs for the implemented subset. Sequence numbers are
+//! 64-bit internally so multi-gigabyte transfers never wrap.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use fastrak_net::flow::FlowKey;
+use fastrak_net::headers::tcp_flags;
+use fastrak_net::packet::MSS;
+use fastrak_sim::time::{SimDuration, SimTime};
+
+/// Maximum bytes one (TSO super-)segment may carry.
+pub const TSO_LIMIT: u32 = 65_535 - 54;
+
+/// Connection state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// Client sent SYN, waiting for SYN|ACK.
+    SynSent,
+    /// Server received SYN, sent SYN|ACK, waiting for ACK.
+    SynRcvd,
+    /// Fully open.
+    Established,
+}
+
+/// Which of the connection's timers fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpTimer {
+    /// Retransmission timeout.
+    Rto,
+    /// Delayed-ACK timeout.
+    DelAck,
+}
+
+/// Tuning knobs, defaulted to Linux-3.5-era behaviour (the paper's kernel).
+#[derive(Debug, Clone, Copy)]
+pub struct TcpConfig {
+    /// Maximum segment size (1448 = MTU 1500 − 40 − 12B timestamps).
+    pub mss: u32,
+    /// Initial congestion window in segments (Linux IW10).
+    pub initial_cwnd_segs: u32,
+    /// Minimum retransmission timeout (Linux: 200 ms).
+    pub min_rto: SimDuration,
+    /// Delayed-ACK flush timeout.
+    pub delack: SimDuration,
+    /// Send a pure ACK after this many unacknowledged data segments.
+    pub ack_every: u32,
+    /// Send a pure ACK once this many bytes are unacknowledged (Linux acks
+    /// every other full-sized segment; LRO aggregates ack promptly).
+    pub ack_every_bytes: u64,
+    /// Receive-window stand-in: the peer never has more than this in
+    /// flight. Keeps slow start from overrunning drop-tail rings (Linux
+    /// bounds this via rcv_wnd/tcp_rmem autotuning).
+    pub max_cwnd: u64,
+    /// Send-buffer cap: unsent + in-flight bytes the app may have queued.
+    pub send_buf: u64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: MSS,
+            initial_cwnd_segs: 10,
+            min_rto: SimDuration::from_millis(200),
+            delack: SimDuration::from_millis(5),
+            ack_every: 2,
+            ack_every_bytes: 2 * MSS as u64,
+            max_cwnd: 768 * 1024,
+            send_buf: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// Counters the experiments read (Fig. 12 reports retransmits/timeouts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpStats {
+    /// Data segments transmitted (including retransmits).
+    pub segs_tx: u64,
+    /// Data segments received in order.
+    pub segs_rx: u64,
+    /// Pure ACKs transmitted.
+    pub acks_tx: u64,
+    /// Duplicate ACKs received.
+    pub dup_acks_rx: u64,
+    /// Fast retransmissions performed.
+    pub fast_retransmits: u64,
+    /// RTO expirations.
+    pub timeouts: u64,
+    /// Out-of-order segments received.
+    pub ooo_segs_rx: u64,
+    /// Bytes cumulatively acknowledged by the peer.
+    pub bytes_acked: u64,
+    /// Bytes delivered in order to the application.
+    pub bytes_delivered: u64,
+    /// Delayed ACKs sent on timer expiry.
+    pub delayed_acks: u64,
+}
+
+/// One segment the connection wants transmitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentPlan {
+    /// Sequence number of the first payload byte.
+    pub seq: u64,
+    /// Payload length (0 for pure ACKs and bare SYN).
+    pub len: u32,
+    /// TCP flags.
+    pub flags: u8,
+    /// Cumulative ACK to carry.
+    pub ack: u64,
+    /// True when this is a retransmission.
+    pub is_rtx: bool,
+}
+
+/// What happened when a segment was processed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RxOutcome {
+    /// Bytes newly delivered in order to the application.
+    pub delivered: u64,
+    /// The connection just became Established.
+    pub connected: bool,
+}
+
+/// A TCP connection (one direction pair).
+#[derive(Debug, Clone)]
+pub struct TcpConn {
+    /// Our outgoing flow key.
+    pub flow: FlowKey,
+    state: TcpState,
+    cfg: TcpConfig,
+
+    // --- send side ---
+    snd_una: u64,
+    snd_nxt: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    /// App writes not yet (fully) transmitted; front may be partially sent.
+    write_q: VecDeque<u64>,
+    queued_bytes: u64,
+    dup_acks: u32,
+    in_recovery: bool,
+    recover: u64,
+    /// Segments queued for retransmission: (seq, len).
+    rtx_q: VecDeque<(u64, u32)>,
+    /// Highest sequence handed to rtx so we do not double-queue.
+    syn_sent: bool,
+
+    // --- RTT estimation (RFC 6298) ---
+    srtt: Option<f64>,
+    rttvar: f64,
+    rto: SimDuration,
+    rto_deadline: Option<SimTime>,
+    /// Karn: (seq end, sent at) of the segment currently timed.
+    rtt_probe: Option<(u64, SimTime)>,
+    /// Retransmission invalidates outstanding probes.
+    probe_invalid: bool,
+
+    // --- receive side ---
+    rcv_nxt: u64,
+    ooo: BTreeMap<u64, u64>,
+    segs_since_ack: u32,
+    bytes_since_ack: u64,
+    delack_deadline: Option<SimTime>,
+    need_ack_now: bool,
+
+    /// Public counters.
+    pub stats: TcpStats,
+}
+
+impl TcpConn {
+    /// Create the client side; the first [`TcpConn::poll_transmit`] emits
+    /// the SYN.
+    pub fn client(flow: FlowKey, cfg: TcpConfig) -> TcpConn {
+        TcpConn::new(flow, cfg, TcpState::SynSent)
+    }
+
+    /// Create the server side in response to a received SYN; the first
+    /// [`TcpConn::poll_transmit`] emits the SYN|ACK.
+    pub fn server(flow: FlowKey, cfg: TcpConfig) -> TcpConn {
+        let mut c = TcpConn::new(flow, cfg, TcpState::SynRcvd);
+        c.rcv_nxt = 1; // peer's SYN consumed
+        c.need_ack_now = true;
+        c
+    }
+
+    fn new(flow: FlowKey, cfg: TcpConfig, state: TcpState) -> TcpConn {
+        TcpConn {
+            flow,
+            state,
+            cfg,
+            snd_una: 0,
+            snd_nxt: 0,
+            cwnd: (cfg.initial_cwnd_segs * cfg.mss) as f64,
+            ssthresh: f64::MAX,
+            write_q: VecDeque::new(),
+            queued_bytes: 0,
+            dup_acks: 0,
+            in_recovery: false,
+            recover: 0,
+            rtx_q: VecDeque::new(),
+            syn_sent: false,
+            srtt: None,
+            rttvar: 0.0,
+            rto: SimDuration::from_millis(200),
+            rto_deadline: None,
+            rtt_probe: None,
+            probe_invalid: false,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            segs_since_ack: 0,
+            bytes_since_ack: 0,
+            delack_deadline: None,
+            need_ack_now: false,
+            stats: TcpStats::default(),
+        }
+    }
+
+    /// Connection state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// Established and ready to carry data?
+    pub fn is_established(&self) -> bool {
+        self.state == TcpState::Established
+    }
+
+    /// Bytes in flight (sent, unacknowledged).
+    pub fn flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Effective send window: cwnd clamped by the receive-window stand-in.
+    pub fn effective_wnd(&self) -> u64 {
+        (self.cwnd as u64).min(self.cfg.max_cwnd)
+    }
+
+    /// Current smoothed RTT estimate, if sampled.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt.map(SimDuration::from_secs_f64)
+    }
+
+    /// Unsent bytes buffered from the application.
+    pub fn unsent(&self) -> u64 {
+        self.queued_bytes
+    }
+
+    /// Room left in the send buffer.
+    pub fn send_buf_space(&self) -> u64 {
+        self.cfg.send_buf.saturating_sub(self.queued_bytes + self.flight())
+    }
+
+    /// Queue an application write of `bytes` (its boundary is preserved:
+    /// these bytes never share a segment with another write).
+    /// Returns false (rejecting the write) when the send buffer is full.
+    pub fn app_send(&mut self, bytes: u64) -> bool {
+        if bytes == 0 || bytes > self.send_buf_space() {
+            return bytes == 0;
+        }
+        self.write_q.push_back(bytes);
+        self.queued_bytes += bytes;
+        true
+    }
+
+    /// The earliest pending timer deadline.
+    pub fn next_timer(&self) -> Option<(SimTime, TcpTimer)> {
+        match (self.rto_deadline, self.delack_deadline) {
+            (Some(r), Some(d)) if d < r => Some((d, TcpTimer::DelAck)),
+            (Some(r), _) => Some((r, TcpTimer::Rto)),
+            (None, Some(d)) => Some((d, TcpTimer::DelAck)),
+            (None, None) => None,
+        }
+    }
+
+    /// Handle a timer expiry at `now`. Call [`TcpConn::poll_transmit`]
+    /// afterwards.
+    pub fn on_timer(&mut self, now: SimTime, which: TcpTimer) {
+        match which {
+            TcpTimer::Rto => {
+                let Some(deadline) = self.rto_deadline else {
+                    return;
+                };
+                if now < deadline {
+                    return; // stale timer
+                }
+                self.rto_deadline = None;
+                if self.flight() == 0 && !matches!(self.state, TcpState::SynSent | TcpState::SynRcvd)
+                {
+                    return;
+                }
+                self.stats.timeouts += 1;
+                // RFC 5681: collapse to one segment, halve ssthresh.
+                let flight = self.flight().max(self.cfg.mss as u64);
+                self.ssthresh = (flight as f64 / 2.0).max((2 * self.cfg.mss) as f64);
+                self.cwnd = self.cfg.mss as f64;
+                self.dup_acks = 0;
+                self.in_recovery = false;
+                self.rto = (self.rto * 2).min(SimDuration::from_secs(60));
+                self.probe_invalid = true;
+                self.rtx_q.clear();
+                if matches!(self.state, TcpState::SynSent | TcpState::SynRcvd) {
+                    self.syn_sent = false; // re-emit the SYN / SYN|ACK
+                } else {
+                    // Go-back: retransmit from snd_una.
+                    let len = (self.flight().min(self.cfg.mss as u64)) as u32;
+                    self.rtx_q.push_back((self.snd_una, len));
+                }
+            }
+            TcpTimer::DelAck => {
+                let Some(deadline) = self.delack_deadline else {
+                    return;
+                };
+                if now < deadline {
+                    return;
+                }
+                self.delack_deadline = None;
+                if self.segs_since_ack > 0 {
+                    self.need_ack_now = true;
+                    self.stats.delayed_acks += 1;
+                }
+            }
+        }
+    }
+
+    /// Process an incoming segment. Returns what was delivered upward.
+    pub fn on_segment(&mut self, now: SimTime, seq: u64, ack: u64, flags: u8, len: u64) -> RxOutcome {
+        let mut out = RxOutcome::default();
+        // --- handshake transitions ---
+        match self.state {
+            TcpState::SynSent => {
+                if flags & tcp_flags::SYN != 0 && flags & tcp_flags::ACK != 0 && ack >= 1 {
+                    self.rcv_nxt = 1;
+                    self.snd_una = 1;
+                    self.state = TcpState::Established;
+                    self.rto_deadline = None;
+                    self.need_ack_now = true;
+                    out.connected = true;
+                    self.sample_rtt_on_ack(now, ack);
+                }
+                return out;
+            }
+            TcpState::SynRcvd => {
+                if flags & tcp_flags::ACK != 0 && ack >= 1 {
+                    self.snd_una = self.snd_una.max(1);
+                    self.state = TcpState::Established;
+                    self.rto_deadline = None;
+                    out.connected = true;
+                    // Fall through: the ACK may carry data.
+                } else {
+                    return out;
+                }
+            }
+            TcpState::Established => {}
+        }
+
+        // --- ACK processing (send side) ---
+        if flags & tcp_flags::ACK != 0 {
+            if ack > self.snd_una {
+                let acked = ack - self.snd_una;
+                // cwnd validation: only grow when we are actually using the
+                // window (RFC 2861 spirit); otherwise slow start inflates
+                // cwnd without bound while app- or rwnd-limited. Data still
+                // queued counts as window-limited: the chunked (GSO) sender
+                // holds back whole chunks that do not fit the window.
+                let cwnd_limited = (self.snd_nxt - self.snd_una) as f64 >= 0.9 * self.cwnd
+                    || self.queued_bytes > 0
+                    || self.cwnd as u64 >= self.cfg.max_cwnd;
+                self.stats.bytes_acked += acked;
+                self.snd_una = ack;
+                self.sample_rtt_on_ack(now, ack);
+                self.dup_acks = 0;
+                if self.in_recovery {
+                    if ack >= self.recover {
+                        // Full recovery.
+                        self.in_recovery = false;
+                        self.cwnd = self.ssthresh;
+                    } else {
+                        // NewReno partial ACK: retransmit the next hole.
+                        let len = ((self.snd_nxt - ack).min(self.cfg.mss as u64)) as u32;
+                        self.rtx_q.push_back((ack, len));
+                        self.cwnd = (self.cwnd - acked as f64 + self.cfg.mss as f64)
+                            .max(self.cfg.mss as f64);
+                    }
+                } else if self.cwnd as u64 >= self.cfg.max_cwnd {
+                    // rwnd-clamped: hold.
+                } else if !cwnd_limited {
+                    // Application-limited: hold (cwnd validation).
+                } else if self.cwnd < self.ssthresh {
+                    // Slow start.
+                    self.cwnd += acked as f64;
+                } else {
+                    // Congestion avoidance: +MSS per RTT, approximated per ACK.
+                    self.cwnd += (self.cfg.mss as f64 * self.cfg.mss as f64) / self.cwnd;
+                }
+                // Re-arm or clear RTO.
+                if self.flight() > 0 {
+                    self.rto_deadline = Some(now + self.rto);
+                } else {
+                    self.rto_deadline = None;
+                }
+            } else if ack == self.snd_una && len == 0 && self.flight() > 0 {
+                // Duplicate ACK.
+                self.stats.dup_acks_rx += 1;
+                self.dup_acks += 1;
+                if self.in_recovery {
+                    self.cwnd += self.cfg.mss as f64; // inflate
+                } else if self.dup_acks == 3 {
+                    // Fast retransmit + enter recovery.
+                    self.stats.fast_retransmits += 1;
+                    self.in_recovery = true;
+                    self.recover = self.snd_nxt;
+                    self.ssthresh =
+                        (self.flight() as f64 / 2.0).max((2 * self.cfg.mss) as f64);
+                    self.cwnd = self.ssthresh + (3 * self.cfg.mss) as f64;
+                    let len = ((self.snd_nxt - self.snd_una).min(self.cfg.mss as u64)) as u32;
+                    self.rtx_q.push_back((self.snd_una, len));
+                    self.probe_invalid = true;
+                }
+            }
+        }
+
+        // --- data processing (receive side) ---
+        if len > 0 {
+            let seg_end = seq + len;
+            if seg_end <= self.rcv_nxt {
+                // Entirely old: ack it again.
+                self.need_ack_now = true;
+            } else if seq <= self.rcv_nxt {
+                // In order (possibly partially old).
+                self.rcv_nxt = seg_end;
+                self.stats.segs_rx += 1;
+                // Merge any out-of-order data now contiguous.
+                while let Some((&s, &l)) = self.ooo.first_key_value() {
+                    if s > self.rcv_nxt {
+                        break;
+                    }
+                    self.ooo.remove(&s);
+                    self.rcv_nxt = self.rcv_nxt.max(s + l);
+                }
+                let delivered = self.rcv_nxt - self.stats.bytes_delivered - 1; // data starts at seq 1
+                self.stats.bytes_delivered += delivered;
+                out.delivered = delivered;
+                self.segs_since_ack += 1;
+                self.bytes_since_ack += delivered;
+                if self.segs_since_ack >= self.cfg.ack_every
+                    || self.bytes_since_ack >= self.cfg.ack_every_bytes
+                {
+                    self.need_ack_now = true;
+                } else if self.delack_deadline.is_none() {
+                    self.delack_deadline = Some(now + self.cfg.delack);
+                }
+            } else {
+                // Out of order: buffer and dup-ack immediately. A shorter
+                // retransmission at the same sequence must not shrink an
+                // already-buffered longer segment.
+                self.stats.ooo_segs_rx += 1;
+                let e = self.ooo.entry(seq).or_insert(0);
+                *e = (*e).max(len);
+                self.need_ack_now = true;
+            }
+        }
+        out
+    }
+
+    fn sample_rtt_on_ack(&mut self, now: SimTime, ack: u64) {
+        if let Some((seq_end, sent_at)) = self.rtt_probe {
+            if ack >= seq_end {
+                if !self.probe_invalid {
+                    let rtt = now.since(sent_at).as_secs_f64();
+                    match self.srtt {
+                        None => {
+                            self.srtt = Some(rtt);
+                            self.rttvar = rtt / 2.0;
+                        }
+                        Some(srtt) => {
+                            self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - rtt).abs();
+                            self.srtt = Some(0.875 * srtt + 0.125 * rtt);
+                        }
+                    }
+                    let rto = SimDuration::from_secs_f64(
+                        self.srtt.unwrap() + (4.0 * self.rttvar).max(0.000_001),
+                    );
+                    self.rto = rto.max(self.cfg.min_rto);
+                }
+                self.rtt_probe = None;
+                self.probe_invalid = false;
+            }
+        }
+    }
+
+    /// Produce the next segment to transmit, if any. `seg_limit` caps the
+    /// payload (pass [`TSO_LIMIT`] on offload-capable paths, the MSS
+    /// otherwise). Returns `None` when there is nothing to send.
+    pub fn poll_transmit(&mut self, now: SimTime, seg_limit: u32) -> Option<SegmentPlan> {
+        // Handshake segments first.
+        match self.state {
+            TcpState::SynSent => {
+                if self.syn_sent {
+                    return None;
+                }
+                self.syn_sent = true;
+                self.snd_nxt = 1;
+                self.rto_deadline = Some(now + self.rto);
+                return Some(SegmentPlan {
+                    seq: 0,
+                    len: 0,
+                    flags: tcp_flags::SYN,
+                    ack: 0,
+                    is_rtx: false,
+                });
+            }
+            TcpState::SynRcvd => {
+                if self.syn_sent {
+                    return None;
+                }
+                self.syn_sent = true;
+                self.snd_nxt = 1;
+                self.rto_deadline = Some(now + self.rto);
+                self.clear_ack_state();
+                return Some(SegmentPlan {
+                    seq: 0,
+                    len: 0,
+                    flags: tcp_flags::SYN | tcp_flags::ACK,
+                    ack: self.rcv_nxt,
+                    is_rtx: false,
+                });
+            }
+            TcpState::Established => {}
+        }
+
+        // Retransmissions take priority.
+        if let Some((seq, len)) = self.rtx_q.pop_front() {
+            // The hole may already be acked.
+            if seq >= self.snd_una || seq + len as u64 > self.snd_una {
+                let seq = seq.max(self.snd_una);
+                if seq < self.snd_nxt {
+                    let len = (len as u64).min(self.snd_nxt - seq) as u32;
+                    self.stats.segs_tx += 1;
+                    self.rto_deadline = Some(now + self.rto);
+                    self.probe_invalid = true;
+                    self.clear_ack_state();
+                    return Some(SegmentPlan {
+                        seq,
+                        len,
+                        flags: tcp_flags::ACK | tcp_flags::PSH,
+                        ack: self.rcv_nxt,
+                        is_rtx: true,
+                    });
+                }
+            }
+        }
+
+        // New data within the effective window. To model TSO/GSO
+        // accumulation (and avoid sliver segments when running right at the
+        // window), a chunk is only emitted once the window has room for the
+        // whole of it — unless nothing is in flight, where we send whatever
+        // fits to keep the connection moving.
+        if let Some(&front) = self.write_q.front() {
+            let wnd = self.effective_wnd();
+            let budget = wnd.saturating_sub(self.flight());
+            let chunk = front.min(seg_limit as u64);
+            if budget >= chunk || self.flight() == 0 {
+                let take = chunk.min(budget.max(self.cfg.mss as u64)).min(seg_limit as u64);
+                if take > 0 {
+                    if take == front {
+                        self.write_q.pop_front();
+                    } else {
+                        *self.write_q.front_mut().unwrap() -= take;
+                    }
+                    self.queued_bytes -= take;
+                    let seq = self.snd_nxt;
+                    self.snd_nxt += take;
+                    self.stats.segs_tx += 1;
+                    if self.rtt_probe.is_none() {
+                        self.rtt_probe = Some((self.snd_nxt, now));
+                        self.probe_invalid = false;
+                    }
+                    self.rto_deadline.get_or_insert(now + self.rto);
+                    self.clear_ack_state();
+                    return Some(SegmentPlan {
+                        seq,
+                        len: take as u32,
+                        flags: tcp_flags::ACK | tcp_flags::PSH,
+                        ack: self.rcv_nxt,
+                        is_rtx: false,
+                    });
+                }
+            }
+        }
+
+        // Pure ACK if one is owed.
+        if self.need_ack_now {
+            self.clear_ack_state();
+            self.stats.acks_tx += 1;
+            return Some(SegmentPlan {
+                seq: self.snd_nxt,
+                len: 0,
+                flags: tcp_flags::ACK,
+                ack: self.rcv_nxt,
+                is_rtx: false,
+            });
+        }
+        None
+    }
+
+    fn clear_ack_state(&mut self) {
+        self.need_ack_now = false;
+        self.segs_since_ack = 0;
+        self.bytes_since_ack = 0;
+        self.delack_deadline = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastrak_net::addr::{Ip, TenantId};
+    use fastrak_net::flow::Proto;
+
+    fn flow() -> FlowKey {
+        FlowKey {
+            tenant: TenantId(1),
+            src_ip: Ip::new(10, 0, 0, 1),
+            dst_ip: Ip::new(10, 0, 0, 2),
+            proto: Proto::Tcp,
+            src_port: 40_000,
+            dst_port: 5001,
+        }
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    /// Drive a full handshake between a client and server conn.
+    fn establish() -> (TcpConn, TcpConn) {
+        let cfg = TcpConfig::default();
+        let mut c = TcpConn::client(flow(), cfg);
+        let syn = c.poll_transmit(t(0), TSO_LIMIT).unwrap();
+        assert_eq!(syn.flags, tcp_flags::SYN);
+        let mut s = TcpConn::server(flow().reverse(), cfg);
+        let synack = s.poll_transmit(t(10), TSO_LIMIT).unwrap();
+        assert_eq!(synack.flags, tcp_flags::SYN | tcp_flags::ACK);
+        let out = c.on_segment(t(20), synack.seq, synack.ack, synack.flags, 0);
+        assert!(out.connected);
+        let ack = c.poll_transmit(t(20), TSO_LIMIT).unwrap();
+        assert_eq!(ack.len, 0);
+        let out = s.on_segment(t(30), ack.seq, ack.ack, ack.flags, 0);
+        assert!(out.connected);
+        assert!(c.is_established() && s.is_established());
+        (c, s)
+    }
+
+    /// Deliver a plan from `from` to `to`, returning the outcome.
+    fn deliver(to: &mut TcpConn, now: SimTime, plan: SegmentPlan) -> RxOutcome {
+        to.on_segment(now, plan.seq, plan.ack, plan.flags, plan.len as u64)
+    }
+
+    #[test]
+    fn handshake_establishes() {
+        establish();
+    }
+
+    #[test]
+    fn data_flows_and_delivers_in_order() {
+        let (mut c, mut s) = establish();
+        assert!(c.app_send(1000));
+        let seg = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        assert_eq!(seg.len, 1000);
+        assert_eq!(seg.seq, 1);
+        let out = deliver(&mut s, t(150), seg);
+        assert_eq!(out.delivered, 1000);
+        assert_eq!(s.stats.bytes_delivered, 1000);
+    }
+
+    #[test]
+    fn write_boundaries_preserved() {
+        let (mut c, _s) = establish();
+        c.app_send(64);
+        c.app_send(64);
+        let a = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        let b = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        assert_eq!(a.len, 64);
+        assert_eq!(b.len, 64);
+        assert_eq!(b.seq, a.seq + 64);
+    }
+
+    #[test]
+    fn large_write_segments_at_limit() {
+        let (mut c, mut s) = establish();
+        c.app_send(32_000);
+        let a = c.poll_transmit(t(100), 1448).unwrap();
+        assert_eq!(a.len, 1448);
+        let b = c.poll_transmit(t(100), 1448).unwrap();
+        assert_eq!(b.seq, a.seq + 1448);
+        // The remaining 29104 bytes do not fit the initial window as one
+        // GSO chunk, so the sender holds back rather than emit slivers...
+        assert_eq!(c.poll_transmit(t(100), TSO_LIMIT), None);
+        // ...until acks open the window; then TSO sends one big segment.
+        deliver(&mut s, t(150), a);
+        deliver(&mut s, t(151), b);
+        while let Some(ack) = s.poll_transmit(t(151), 1448) {
+            deliver(&mut c, t(160), ack);
+        }
+        let big = c.poll_transmit(t(200), TSO_LIMIT).unwrap();
+        assert!(big.len > 1448, "got {}", big.len);
+    }
+
+    #[test]
+    fn cwnd_limits_flight() {
+        let cfg = TcpConfig::default();
+        let (mut c, _s) = establish();
+        c.app_send(cfg.send_buf / 2);
+        let mut sent = 0u64;
+        while let Some(p) = c.poll_transmit(t(100), TSO_LIMIT) {
+            sent += p.len as u64;
+        }
+        // Flight must stay within ~cwnd (10 MSS initial, one oversized tail
+        // segment allowed by the implementation's first-segment rule).
+        assert!(sent <= (cfg.initial_cwnd_segs as u64 + 1) * cfg.mss as u64 + TSO_LIMIT as u64);
+        assert!(c.flight() > 0);
+    }
+
+    #[test]
+    fn slow_start_doubles_cwnd() {
+        let (mut c, mut s) = establish();
+        let before = c.cwnd();
+        c.app_send(900_000);
+        let mut now = 100;
+        for _round in 0..10 {
+            // Fill the window (cwnd-limited), then deliver and ack.
+            let mut segs = Vec::new();
+            while let Some(seg) = c.poll_transmit(t(now), 1448) {
+                segs.push(seg);
+            }
+            now += 10;
+            for seg in segs {
+                deliver(&mut s, t(now), seg);
+                while let Some(ack) = s.poll_transmit(t(now), 1448) {
+                    deliver(&mut c, t(now + 10), ack);
+                }
+            }
+            now += 10;
+        }
+        assert!(c.cwnd() > 2 * before, "{} !> 2x {}", c.cwnd(), before);
+    }
+
+    #[test]
+    fn dup_acks_trigger_fast_retransmit() {
+        let (mut c, mut s) = establish();
+        c.app_send(10 * 1448);
+        let mut segs = Vec::new();
+        while let Some(p) = c.poll_transmit(t(100), 1448) {
+            segs.push(p);
+        }
+        assert!(segs.len() >= 5, "need at least 5 segments, got {}", segs.len());
+        // Drop the first segment; deliver the rest -> dup acks.
+        let mut now = 200;
+        for seg in segs.iter().skip(1) {
+            deliver(&mut s, t(now), *seg);
+            now += 1;
+            while let Some(ack) = s.poll_transmit(t(now), 1448) {
+                deliver(&mut c, t(now), ack);
+                now += 1;
+            }
+        }
+        assert!(c.stats.dup_acks_rx >= 3, "dup acks {}", c.stats.dup_acks_rx);
+        // The retransmission of the hole must come out next.
+        let rtx = c.poll_transmit(t(now), 1448).unwrap();
+        assert!(rtx.is_rtx);
+        assert_eq!(rtx.seq, 1);
+        assert_eq!(c.stats.fast_retransmits, 1);
+        // Delivering it fills the hole and delivers everything buffered.
+        let out = deliver(&mut s, t(now + 1), rtx);
+        assert_eq!(out.delivered, 10 * 1448);
+        assert_eq!(c.stats.timeouts, 0);
+    }
+
+    #[test]
+    fn recovery_exits_on_full_ack() {
+        let (mut c, mut s) = establish();
+        c.app_send(10 * 1448);
+        let mut segs = Vec::new();
+        while let Some(p) = c.poll_transmit(t(100), 1448) {
+            segs.push(p);
+        }
+        let mut now = 200;
+        for seg in segs.iter().skip(1) {
+            deliver(&mut s, t(now), *seg);
+            now += 1;
+            while let Some(ack) = s.poll_transmit(t(now), 1448) {
+                deliver(&mut c, t(now), ack);
+                now += 1;
+            }
+        }
+        let rtx = c.poll_transmit(t(now), 1448).unwrap();
+        deliver(&mut s, t(now + 1), rtx);
+        // Server acks everything.
+        while let Some(ack) = s.poll_transmit(t(now + 2), 1448) {
+            deliver(&mut c, t(now + 2), ack);
+        }
+        // c should have exited recovery and be able to send fresh data.
+        c.app_send(1448);
+        let p = c.poll_transmit(t(now + 3), 1448).unwrap();
+        assert!(!p.is_rtx);
+    }
+
+    #[test]
+    fn rto_fires_and_backs_off() {
+        let (mut c, _s) = establish();
+        c.app_send(1448);
+        let _seg = c.poll_transmit(t(100), 1448).unwrap();
+        let (deadline, which) = c.next_timer().unwrap();
+        assert_eq!(which, TcpTimer::Rto);
+        c.on_timer(deadline, TcpTimer::Rto);
+        assert_eq!(c.stats.timeouts, 1);
+        assert_eq!(c.cwnd(), 1448);
+        let rtx = c.poll_transmit(deadline, 1448).unwrap();
+        assert!(rtx.is_rtx);
+        assert_eq!(rtx.seq, 1);
+        // Second timeout doubles RTO (re-armed when the rtx is polled out).
+        let (d2, _) = c.next_timer().unwrap();
+        c.on_timer(d2, TcpTimer::Rto);
+        assert_eq!(c.stats.timeouts, 2);
+        let rtx2 = c.poll_transmit(d2, 1448).unwrap();
+        assert!(rtx2.is_rtx);
+        let (d3, _) = c.next_timer().unwrap();
+        assert!(d3.since(d2) > d2.since(deadline), "RTO must back off");
+    }
+
+    #[test]
+    fn stale_rto_timer_ignored() {
+        let (mut c, _s) = establish();
+        c.app_send(1448);
+        let _ = c.poll_transmit(t(100), 1448);
+        let (deadline, _) = c.next_timer().unwrap();
+        // Fire "early": must be ignored.
+        c.on_timer(t(101), TcpTimer::Rto);
+        assert_eq!(c.stats.timeouts, 0);
+        c.on_timer(deadline, TcpTimer::Rto);
+        assert_eq!(c.stats.timeouts, 1);
+    }
+
+    #[test]
+    fn delayed_ack_after_single_segment() {
+        let (mut c, mut s) = establish();
+        c.app_send(100);
+        let seg = c.poll_transmit(t(100), 1448).unwrap();
+        deliver(&mut s, t(200), seg);
+        // No immediate ack (1 < ack_every).
+        assert!(s.poll_transmit(t(200), 1448).is_none());
+        let (deadline, which) = s.next_timer().unwrap();
+        assert_eq!(which, TcpTimer::DelAck);
+        s.on_timer(deadline, TcpTimer::DelAck);
+        let ack = s.poll_transmit(deadline, 1448).unwrap();
+        assert_eq!(ack.len, 0);
+        assert_eq!(ack.ack, 101);
+        assert_eq!(s.stats.delayed_acks, 1);
+    }
+
+    #[test]
+    fn every_second_segment_acked_immediately() {
+        let (mut c, mut s) = establish();
+        c.app_send(100);
+        c.app_send(100);
+        let a = c.poll_transmit(t(100), 1448).unwrap();
+        let b = c.poll_transmit(t(100), 1448).unwrap();
+        deliver(&mut s, t(200), a);
+        deliver(&mut s, t(201), b);
+        let ack = s.poll_transmit(t(201), 1448).unwrap();
+        assert_eq!(ack.ack, 201);
+    }
+
+    #[test]
+    fn byte_threshold_acks_lro_aggregates_promptly() {
+        // One super-segment worth >= 2*MSS must trigger an immediate ack
+        // (otherwise delayed acks add phantom RTT under TSO/LRO).
+        let (mut c, mut s) = establish();
+        c.app_send(10_000);
+        let seg = c.poll_transmit(t(100), 65_000).unwrap();
+        deliver(&mut s, t(200), seg);
+        let ack = s.poll_transmit(t(200), 1448).unwrap();
+        assert_eq!(ack.ack, 1 + 10_000);
+    }
+
+    #[test]
+    fn effective_window_clamped_by_max_cwnd() {
+        let mut cfg = TcpConfig::default();
+        cfg.max_cwnd = 20_000;
+        let mut c = TcpConn::client(flow(), cfg);
+        // Drive cwnd up artificially via the public API: effective window
+        // can never exceed max_cwnd regardless of cwnd.
+        assert!(c.effective_wnd() <= 20_000);
+        let _ = c.poll_transmit(t(0), 1448);
+        assert!(c.effective_wnd() <= 20_000);
+    }
+
+    #[test]
+    fn out_of_order_buffered_and_merged() {
+        let (mut c, mut s) = establish();
+        c.app_send(3 * 1000);
+        let a = c.poll_transmit(t(100), 1000).unwrap();
+        let b = c.poll_transmit(t(100), 1000).unwrap();
+        let cc = c.poll_transmit(t(100), 1000).unwrap();
+        // Deliver out of order: c, b, a.
+        let o1 = deliver(&mut s, t(200), cc);
+        assert_eq!(o1.delivered, 0);
+        let o2 = deliver(&mut s, t(201), b);
+        assert_eq!(o2.delivered, 0);
+        assert_eq!(s.stats.ooo_segs_rx, 2);
+        let o3 = deliver(&mut s, t(202), a);
+        assert_eq!(o3.delivered, 3000);
+    }
+
+    #[test]
+    fn old_segment_reacked() {
+        let (mut c, mut s) = establish();
+        c.app_send(100);
+        let seg = c.poll_transmit(t(100), 1448).unwrap();
+        deliver(&mut s, t(200), seg);
+        // Duplicate delivery of the same segment.
+        deliver(&mut s, t(210), seg);
+        let ack = s.poll_transmit(t(210), 1448).unwrap();
+        assert_eq!(ack.ack, 101);
+    }
+
+    #[test]
+    fn send_buffer_rejects_overflow() {
+        let mut cfg = TcpConfig::default();
+        cfg.send_buf = 1000;
+        let mut c = TcpConn::client(flow(), cfg);
+        assert!(c.app_send(800));
+        assert!(!c.app_send(300));
+        assert!(c.app_send(0)); // zero-write is a no-op success
+    }
+
+    #[test]
+    fn rtt_estimation_converges() {
+        let (mut c, mut s) = establish();
+        let mut now = 1000u64;
+        for _ in 0..20 {
+            c.app_send(1448);
+            let Some(seg) = c.poll_transmit(t(now), 1448) else {
+                break;
+            };
+            // 100us one-way, ack after delack or piggyback.
+            deliver(&mut s, t(now + 100), seg);
+            if let Some((d, w)) = s.next_timer() {
+                s.on_timer(d, w);
+            }
+            if let Some(ack) = s.poll_transmit(t(now + 150), 1448) {
+                deliver(&mut c, t(now + 200), ack);
+            }
+            now += 1000;
+        }
+        let srtt = c.srtt().expect("rtt sampled");
+        // ~200us RTT (100 out + up-to-delack + 50 + 100 back): bounded sane.
+        assert!(srtt >= SimDuration::from_micros(150), "srtt {srtt}");
+        assert!(srtt <= SimDuration::from_millis(10), "srtt {srtt}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Background load generators: the IOzone filesystem benchmark and the
+//! `stress` CPU hog the paper runs alongside memcached (§6.1.1) to show the
+//! SR-IOV benefit persists under competing load.
+
+use fastrak_host::app::{GuestApi, GuestApp};
+use fastrak_sim::time::{SimDuration, SimTime};
+use fastrak_transport::stack::SockEvent;
+
+const TIMER_TICK: u64 = 1;
+
+/// IOzone-like disk benchmark: periodic bursts of vCPU work (buffer cache
+/// churn + IO submission) with idle gaps for disk waits.
+pub struct IoZone {
+    /// Tick interval.
+    pub interval: SimDuration,
+    /// vCPU work per tick.
+    pub work_per_tick: SimDuration,
+    /// Ticks executed.
+    pub ticks: u64,
+}
+
+impl IoZone {
+    /// Defaults: every 1 ms burn 400 µs across the pool (~0.4 vCPU).
+    pub fn paper_default() -> IoZone {
+        IoZone {
+            interval: SimDuration::from_millis(1),
+            work_per_tick: SimDuration::from_micros(400),
+            ticks: 0,
+        }
+    }
+}
+
+impl GuestApp for IoZone {
+    fn on_start(&mut self, api: &mut GuestApi<'_>) {
+        api.set_timer(self.interval, TIMER_TICK);
+    }
+
+    fn on_timer(&mut self, tag: u64, api: &mut GuestApi<'_>) {
+        if tag == TIMER_TICK {
+            self.ticks += 1;
+            api.burn_cpu(self.work_per_tick);
+            api.set_timer(self.interval, TIMER_TICK);
+        }
+    }
+
+    fn on_event(&mut self, _ev: SockEvent, _api: &mut GuestApi<'_>) {}
+}
+
+/// `stress`-like CPU hog: keeps `workers` vCPUs ~100% busy.
+pub struct Stress {
+    /// Number of spinning workers.
+    pub workers: usize,
+    /// Work quantum per worker per tick.
+    pub quantum: SimDuration,
+    started: Option<SimTime>,
+}
+
+impl Stress {
+    /// A hog with the given worker count.
+    pub fn new(workers: usize) -> Stress {
+        Stress {
+            workers,
+            quantum: SimDuration::from_millis(1),
+            started: None,
+        }
+    }
+}
+
+impl GuestApp for Stress {
+    fn on_start(&mut self, api: &mut GuestApi<'_>) {
+        self.started = Some(api.now);
+        api.set_timer(self.quantum, TIMER_TICK);
+    }
+
+    fn on_timer(&mut self, tag: u64, api: &mut GuestApi<'_>) {
+        if tag == TIMER_TICK {
+            for _ in 0..self.workers {
+                api.burn_cpu(self.quantum);
+            }
+            api.set_timer(self.quantum, TIMER_TICK);
+        }
+    }
+
+    fn on_event(&mut self, _ev: SockEvent, _api: &mut GuestApi<'_>) {}
+}
+
+/// An idle application (placeholder for VMs that only receive).
+pub struct Idle;
+
+impl GuestApp for Idle {
+    fn on_start(&mut self, _api: &mut GuestApi<'_>) {}
+    fn on_event(&mut self, _ev: SockEvent, _api: &mut GuestApi<'_>) {}
+    fn on_timer(&mut self, _tag: u64, _api: &mut GuestApi<'_>) {}
+}

@@ -1,0 +1,124 @@
+//! The paper's headline scenario (§6.2 / Table 4), as a runnable demo:
+//! memcached competing with disk-bound file transfers, first with all
+//! traffic through the hypervisor, then with FasTrak automatically carving
+//! an express lane for the latency-sensitive application.
+//!
+//! ```text
+//! cargo run --release --example memcached_expresslane
+//! ```
+
+use fastrak::{attach, DeConfig, FasTrakConfig, Timing};
+use fastrak_host::vm::VmSpec;
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_sim::time::{SimDuration, SimTime};
+use fastrak_workload::{
+    memcached_server, Composite, FileTransfer, MemslapClient, MemslapConfig, StreamSink, Testbed,
+    TestbedConfig, VmRef,
+};
+
+const TENANT: TenantId = TenantId(1);
+const REQUESTS: u64 = 120_000;
+
+fn build() -> (Testbed, Vec<VmRef>) {
+    let mut bed = Testbed::build(TestbedConfig {
+        n_servers: 3,
+        ..TestbedConfig::default()
+    });
+    // Two memcached VMs on the test server, each also pushing a disk-bound
+    // file transfer (the background load the paper uses).
+    let mut clients = Vec::new();
+    for i in 0..2u16 {
+        let mc_ip = Ip::tenant_vm(1 + i);
+        let sink_ip = Ip::tenant_vm(40 + i);
+        let mut ft = FileTransfer::paper_default(sink_ip, 22, 50_000 + i);
+        ft.total_bytes = 256 << 20;
+        bed.add_vm(
+            0,
+            VmSpec::large(format!("mc{i}"), TENANT, mc_ip),
+            Box::new(Composite::new(vec![
+                Box::new(memcached_server()),
+                Box::new(ft),
+            ])),
+        );
+        bed.add_vm(
+            1 + (i as usize),
+            VmSpec::medium(format!("sink{i}"), TENANT, sink_ip),
+            Box::new(StreamSink::new(22)),
+        );
+    }
+    for c in 0..2u16 {
+        let ip = Ip::tenant_vm(10 + c);
+        let mut cfg = MemslapConfig::paper(vec![Ip::tenant_vm(1), Ip::tenant_vm(2)], Some(REQUESTS));
+        cfg.src_port_base = 43_000 + c * 64;
+        clients.push(bed.add_vm(
+            1 + (c as usize),
+            VmSpec::large(format!("slap{c}"), TENANT, ip),
+            Box::new(MemslapClient::new(cfg)),
+        ));
+    }
+    (bed, clients)
+}
+
+fn run(with_fastrak: bool) -> (f64, f64) {
+    let (mut bed, clients) = build();
+    let ft = with_fastrak.then(|| {
+        let ft = attach(
+            &mut bed,
+            FasTrakConfig {
+                timing: Timing::fine(),
+                de: DeConfig {
+                    max_offloaded: Some(4),
+                    ..DeConfig::paper()
+                },
+                ..Default::default()
+            },
+        );
+        ft.start(&mut bed);
+        ft
+    });
+    bed.start();
+    // Run until the clients finish.
+    loop {
+        let now = bed.now();
+        bed.run_until(now + SimDuration::from_millis(500));
+        if clients
+            .iter()
+            .all(|&c| bed.app::<MemslapClient>(c).finished_at.is_some())
+            || bed.now() > SimTime::from_secs(120)
+        {
+            break;
+        }
+    }
+    let mut finish = 0.0;
+    let mut lat = 0.0;
+    for &c in &clients {
+        let app = bed.app::<MemslapClient>(c);
+        finish += app.finish_time().expect("clients finish").as_secs_f64();
+        lat += app.latency.mean() / 1e3;
+    }
+    if let Some(ft) = ft {
+        println!(
+            "  (FasTrak offloaded {} aggregates: {:?})",
+            ft.offloaded(&bed).len(),
+            ft.offloaded(&bed)
+        );
+    }
+    (finish / clients.len() as f64, lat / clients.len() as f64)
+}
+
+fn main() {
+    println!("running VIF-only baseline ...");
+    let (fin_vif, lat_vif) = run(false);
+    println!("  finish {fin_vif:.2}s, mean latency {lat_vif:.0}us\n");
+
+    println!("running with FasTrak express lanes ...");
+    let (fin_ft, lat_ft) = run(true);
+    println!("  finish {fin_ft:.2}s, mean latency {lat_ft:.0}us\n");
+
+    println!(
+        "improvement: finish {:.2}x faster, latency {:.2}x lower",
+        fin_vif / fin_ft,
+        lat_vif / lat_ft
+    );
+    assert!(fin_ft < fin_vif, "FasTrak must improve finish time");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: build a two-server rack, run a memcached workload over the
+//! software path, then deploy FasTrak and watch it move the hot flows onto
+//! the hardware express lane.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fastrak::{attach, FasTrakConfig};
+use fastrak_host::vm::VmSpec;
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_sim::time::SimTime;
+use fastrak_workload::{
+    memcached_server, MemslapClient, MemslapConfig, Testbed, TestbedConfig,
+};
+
+fn main() {
+    let tenant = TenantId(1);
+    let mc_ip = Ip::tenant_vm(1);
+    let client_ip = Ip::tenant_vm(2);
+
+    // 1. A rack with two servers on one ToR (each server has a vswitch link
+    //    and an SR-IOV link, like the paper's testbed).
+    let mut bed = Testbed::build(TestbedConfig {
+        n_servers: 2,
+        ..TestbedConfig::default()
+    });
+
+    // 2. A memcached server VM and a memslap client VM.
+    let mc = bed.add_vm(
+        0,
+        VmSpec::large("memcached", tenant, mc_ip),
+        Box::new(memcached_server()),
+    );
+    let client = bed.add_vm(
+        1,
+        VmSpec::large("memslap", tenant, client_ip),
+        Box::new(MemslapClient::new(MemslapConfig::paper(vec![mc_ip], None))),
+    );
+
+    // 3. Deploy the FasTrak controllers (one local controller per server +
+    //    the TOR controller) and start everything.
+    let ft = attach(&mut bed, FasTrakConfig::default());
+    ft.start(&mut bed);
+    bed.start();
+
+    // 4. Watch the system evolve: within a couple of control intervals the
+    //    controller measures memcached's packets-per-second and offloads
+    //    its aggregates onto the SR-IOV path.
+    for second in 1..=5u64 {
+        bed.run_until(SimTime::from_secs(second));
+        let app = bed.app::<MemslapClient>(client);
+        let offloaded = ft.offloaded(&bed).len();
+        let srv = bed.server(mc.server);
+        println!(
+            "t={second}s  transactions={:7}  mean latency={:6.1}us  offloaded aggregates={}  hw frames={}",
+            app.completed(),
+            app.latency.mean() / 1e3,
+            offloaded,
+            srv.stats.tx_hw_frames,
+        );
+    }
+
+    let app = bed.app::<MemslapClient>(client);
+    println!(
+        "\nfinal: {} transactions, p99 latency {:.1}us, {} aggregates in hardware",
+        app.completed(),
+        app.latency.quantile(0.99) as f64 / 1e3,
+        ft.offloaded(&bed).len()
+    );
+    assert!(
+        !ft.offloaded(&bed).is_empty(),
+        "FasTrak should have offloaded the memcached aggregates"
+    );
+}

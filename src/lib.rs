@@ -1,0 +1,14 @@
+//! Umbrella crate for the FasTrak reproduction workspace.
+//!
+//! Re-exports every member crate so the root-level integration tests
+//! (`tests/`) and examples (`examples/`) can reach the whole system, and so
+//! `cargo doc` renders one entry point. See the README for the tour.
+
+pub use fastrak;
+pub use fastrak_bench;
+pub use fastrak_host;
+pub use fastrak_net;
+pub use fastrak_sim;
+pub use fastrak_switch;
+pub use fastrak_transport;
+pub use fastrak_workload;
