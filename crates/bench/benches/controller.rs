@@ -1,15 +1,17 @@
-//! Criterion benchmarks for the FasTrak controller's per-interval work:
+//! Benchmarks for the FasTrak controller's per-interval work:
 //! measurement-engine folding, decision-engine ranking/selection, rule
 //! synthesis, and the FPS split. These bound how many flows a single TOR
 //! controller can manage per control interval (scalability, §4.3.3).
+//!
+//! Run with `cargo bench -p fastrak-bench --bench controller`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::collections::HashSet;
 
 use fastrak::de::{DeConfig, DecisionEngine};
 use fastrak::fps::{fps_split, FpsConfig, FpsInput};
 use fastrak::me::{AggDemand, MeasurementEngine};
 use fastrak::rules::RuleManager;
+use fastrak_bench::harness::{black_box, Suite};
 use fastrak_net::addr::{Ip, TenantId};
 use fastrak_net::ctrl::FlowStatEntry;
 use fastrak_net::flow::{FlowAggregate, FlowKey, Proto};
@@ -48,48 +50,43 @@ fn demands(n: usize) -> Vec<AggDemand> {
         .collect()
 }
 
-fn bench_me_fold(c: &mut Criterion) {
-    let mut g = c.benchmark_group("measurement_engine_epoch");
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut s = Suite::new("controller");
+    if quick {
+        s = s.quick();
+    }
+
     for &n in &[100usize, 1_000, 10_000] {
         let dump = stats(n);
-        g.bench_with_input(BenchmarkId::new("flows", n), &n, |b, _| {
-            b.iter(|| {
-                let mut me = MeasurementEngine::new(0.1, 6);
-                me.epoch_sample_a(black_box(&dump));
-                me.epoch_sample_b(black_box(&dump));
-                black_box(me.report())
-            });
+        s.bench(&format!("measurement_engine_epoch/flows/{n}"), || {
+            let mut me = MeasurementEngine::new(0.1, 6);
+            me.epoch_sample_a(black_box(&dump));
+            me.epoch_sample_b(black_box(&dump));
+            black_box(me.report());
         });
     }
-    g.finish();
-}
 
-fn bench_de_decide(c: &mut Criterion) {
-    let mut g = c.benchmark_group("decision_engine_decide");
     for &n in &[100usize, 1_000, 10_000] {
         let d = demands(n);
         let de = DecisionEngine::new(DeConfig::paper());
-        let offloaded: HashSet<FlowAggregate> =
-            d.iter().take(n / 10).map(|x| x.agg).collect();
-        g.bench_with_input(BenchmarkId::new("aggregates", n), &n, |b, _| {
-            b.iter(|| black_box(de.decide(black_box(&d), &offloaded, 256)));
+        let offloaded: HashSet<FlowAggregate> = d.iter().take(n / 10).map(|x| x.agg).collect();
+        s.bench(&format!("decision_engine_decide/aggregates/{n}"), || {
+            black_box(de.decide(black_box(&d), &offloaded, 256));
         });
     }
-    g.finish();
-}
 
-fn bench_rule_synthesis(c: &mut Criterion) {
-    let rm = RuleManager::new();
-    let agg = FlowAggregate::dst_of(&flow(7));
-    c.bench_function("rule_synthesis_default_policy", |b| {
-        b.iter(|| black_box(rm.synthesize(&agg, 10).unwrap()));
-    });
-}
+    {
+        let rm = RuleManager::new();
+        let agg = FlowAggregate::dst_of(&flow(7));
+        s.bench("rule_synthesis_default_policy", || {
+            black_box(rm.synthesize(&agg, 10).unwrap());
+        });
+    }
 
-fn bench_fps(c: &mut Criterion) {
-    let cfg = FpsConfig::default();
-    c.bench_function("fps_split", |b| {
-        b.iter(|| {
+    {
+        let cfg = FpsConfig::default();
+        s.bench("fps_split", || {
             black_box(fps_split(
                 &cfg,
                 FpsInput {
@@ -99,16 +96,9 @@ fn bench_fps(c: &mut Criterion) {
                     sw_maxed: false,
                     hw_maxed: true,
                 },
-            ))
+            ));
         });
-    });
-}
+    }
 
-criterion_group!(
-    benches,
-    bench_me_fold,
-    bench_de_decide,
-    bench_rule_synthesis,
-    bench_fps
-);
-criterion_main!(benches);
+    s.finish();
+}

@@ -1,10 +1,13 @@
-//! Criterion benchmarks for the simulated data plane itself: wire-header
-//! codecs, the vswitch decision path, the DES kernel's event throughput,
-//! and a full end-to-end simulated second of RR traffic (the cost of
-//! running the reproduction, not of the modelled system).
+//! Benchmarks for the simulated data plane itself: wire-header codecs, the
+//! vswitch decision path, the DES kernel's event throughput, and a full
+//! end-to-end simulated second of RR traffic (the cost of running the
+//! reproduction, not of the modelled system).
+//!
+//! Run with `cargo bench -p fastrak-bench --bench datapath` (add
+//! `-- --quick` for a fast smoke pass). Set `FASTRAK_BENCH_JSON=<path>` to
+//! collect machine-readable results.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use fastrak_bench::harness::{black_box, Suite};
 use fastrak_net::addr::{Ip, Mac, TenantId};
 use fastrak_net::flow::{FlowKey, Proto};
 use fastrak_net::packet::{Encap, L4Meta, Packet};
@@ -22,7 +25,26 @@ fn flow() -> FlowKey {
     }
 }
 
-fn bench_header_codec(c: &mut Criterion) {
+struct Ping {
+    peer: usize,
+    left: u64,
+}
+impl Node<u64, ()> for Ping {
+    fn on_event(&mut self, ev: u64, api: &mut Api<'_, u64, ()>) {
+        if self.left > 0 {
+            self.left -= 1;
+            api.send(self.peer, SimDuration::from_micros(1), ev + 1);
+        }
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut s = Suite::new("datapath");
+    if quick {
+        s = s.quick();
+    }
+
     let mut p = Packet::new(
         1,
         flow(),
@@ -39,71 +61,64 @@ fn bench_header_codec(c: &mut Criterion) {
         src: Ip::provider_server(0, 1),
         dst: Ip::provider_server(0, 2),
     });
-    c.bench_function("encode_wire_vxlan_1448B", |b| {
-        b.iter(|| black_box(p.encode_wire(Mac::local(1), Mac::local(2))));
+    s.bench("encode_wire_vxlan_1448B", || {
+        black_box(p.encode_wire(Mac::local(1), Mac::local(2)));
     });
     let bytes = {
         let mut q = p.clone();
         q.decap();
         q.encode_wire(Mac::local(1), Mac::local(2))
     };
-    c.bench_function("decode_wire_plain_1448B", |b| {
-        b.iter(|| black_box(Packet::decode_wire(TenantId(3), &bytes).unwrap()));
+    s.bench("decode_wire_plain_1448B", || {
+        black_box(Packet::decode_wire(TenantId(3), &bytes).unwrap());
     });
-}
 
-fn bench_vswitch_process(c: &mut Criterion) {
-    use fastrak_host::vswitch::{Vswitch, VswitchConfig};
-    let mut vs = Vswitch::new(VswitchConfig::default());
-    vs.attach_vif(TenantId(3), Ip::new(10, 0, 0, 1));
-    let k = flow();
-    vs.process_tx(&k, 1500); // warm the datapath cache
-    c.bench_function("vswitch_fast_path_tx", |b| {
-        b.iter(|| black_box(vs.process_tx(&k, 1500)));
-    });
-}
-
-struct Ping {
-    peer: usize,
-    left: u64,
-}
-impl Node<u64, ()> for Ping {
-    fn on_event(&mut self, ev: u64, api: &mut Api<'_, u64, ()>) {
-        if self.left > 0 {
-            self.left -= 1;
-            api.send(self.peer, SimDuration::from_micros(1), ev + 1);
-        }
-    }
-}
-
-fn bench_kernel_events(c: &mut Criterion) {
-    c.bench_function("des_kernel_100k_events", |b| {
-        b.iter(|| {
-            let mut k = Kernel::new((), 1);
-            let a = k.add_node(Ping {
-                peer: 1,
-                left: 50_000,
-            });
-            let bnode = k.add_node(Ping {
-                peer: a,
-                left: 50_000,
-            });
-            let _ = bnode;
-            k.post(a, SimTime::ZERO, 0);
-            k.run_to_completion();
-            black_box(k.events_processed())
+    {
+        use fastrak_host::vswitch::{Vswitch, VswitchConfig};
+        let mut vs = Vswitch::new(VswitchConfig::default());
+        vs.attach_vif(TenantId(3), Ip::new(10, 0, 0, 1));
+        let k = flow();
+        vs.process_tx(&k, 1500); // warm the datapath cache
+        s.bench("vswitch_fast_path_tx", || {
+            black_box(vs.process_tx(&k, 1500));
         });
-    });
-}
+    }
 
-fn bench_end_to_end_rr_second(c: &mut Criterion) {
-    use fastrak_host::vm::VmSpec;
-    use fastrak_workload::{RrClient, RrClientConfig, RrServer, RrServerConfig, Testbed, TestbedConfig};
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(8));
-    g.bench_function("simulate_1s_closed_loop_rr", |b| {
-        b.iter(|| {
+    // Packet clone cost: encap state is an inline EncapStack (Copy), so
+    // cloning never touches the heap. The control clones the same state
+    // held the old way, as a Vec<Encap> — the delta is the measured win.
+    {
+        let inline = p.clone();
+        let vec_encaps: Vec<Encap> = inline.encaps.iter().copied().collect();
+        s.bench("packet_clone_inline_encaps", || {
+            black_box(inline.clone());
+        });
+        s.bench("encap_vec_clone_control", || {
+            black_box(vec_encaps.clone());
+        });
+    }
+
+    s.bench("des_kernel_100k_events", || {
+        let mut k = Kernel::new((), 1);
+        let a = k.add_node(Ping {
+            peer: 1,
+            left: 50_000,
+        });
+        let _b = k.add_node(Ping {
+            peer: a,
+            left: 50_000,
+        });
+        k.post(a, SimTime::ZERO, 0);
+        k.run_to_completion();
+        black_box(k.events_processed());
+    });
+
+    {
+        use fastrak_host::vm::VmSpec;
+        use fastrak_workload::{
+            RrClient, RrClientConfig, RrServer, RrServerConfig, Testbed, TestbedConfig,
+        };
+        s.bench("simulate_1s_closed_loop_rr", || {
             let mut bed = Testbed::build(TestbedConfig {
                 n_servers: 2,
                 ..TestbedConfig::default()
@@ -129,16 +144,9 @@ fn bench_end_to_end_rr_second(c: &mut Criterion) {
             );
             bed.start();
             bed.run_until(SimTime::from_secs(1));
-            black_box(bed.app::<RrClient>(cli).completed())
+            black_box(bed.app::<RrClient>(cli).completed());
         });
-    });
-}
+    }
 
-criterion_group!(
-    benches,
-    bench_header_codec,
-    bench_vswitch_process,
-    bench_kernel_events,
-    bench_end_to_end_rr_second
-);
-criterion_main!(benches);
+    s.finish();
+}

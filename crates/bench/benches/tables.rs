@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks for the match tables on the per-packet hot
-//! path: the OVS kernel cache and flow placer (exact match, O(1) by
-//! design — §2.2) and the ToR's priority wildcard table.
+//! Micro-benchmarks for the match tables on the per-packet hot path: the
+//! OVS kernel cache and flow placer (exact match, O(1) by design — §2.2)
+//! and the ToR's priority wildcard table.
+//!
+//! Run with `cargo bench -p fastrak-bench --bench tables`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastrak_bench::harness::{black_box, Suite};
 use fastrak_net::addr::{Ip, TenantId};
 use fastrak_net::flow::{FlowKey, FlowSpec, Proto};
 use fastrak_net::tables::{ExactMatchTable, WildcardTable};
@@ -18,32 +20,46 @@ fn key(i: u32) -> FlowKey {
     }
 }
 
-fn bench_exact_match(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exact_match_lookup");
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut s = Suite::new("tables");
+    if quick {
+        s = s.quick();
+    }
+
     for &n in &[16usize, 1_024, 65_536] {
         let mut t = ExactMatchTable::new();
         for i in 0..n as u32 {
             t.insert(key(i), i);
         }
-        g.bench_with_input(BenchmarkId::new("hit", n), &n, |b, &n| {
-            let mut i = 0u32;
-            b.iter(|| {
-                i = (i + 1) % n as u32;
-                black_box(t.lookup(&key(i), 1500).copied())
-            });
+        let mut i = 0u32;
+        s.bench(&format!("exact_match_lookup/hit/{n}"), || {
+            i = (i + 1) % n as u32;
+            black_box(t.lookup(&key(i), 1500).copied());
         });
-        g.bench_with_input(BenchmarkId::new("miss", n), &n, |b, &n| {
-            b.iter(|| black_box(t.lookup(&key(n as u32 + 7), 1500).copied()));
+        s.bench(&format!("exact_match_lookup/miss/{n}"), || {
+            black_box(t.lookup(&key(n as u32 + 7), 1500).copied());
         });
     }
-    g.finish();
-}
 
-fn bench_wildcard(c: &mut Criterion) {
+    // Control: the same exact-match workload on a std (SipHash) map. The
+    // delta against exact_match_lookup/hit/1024 is the measured win from
+    // the FxHash adoption across the per-packet maps.
+    {
+        let mut t: std::collections::HashMap<FlowKey, u32> = std::collections::HashMap::new();
+        for i in 0..1_024u32 {
+            t.insert(key(i), i);
+        }
+        let mut i = 0u32;
+        s.bench("exact_match_lookup/hit/1024_siphash_control", || {
+            i = (i + 1) % 1_024;
+            black_box(t.get(&key(i)).copied());
+        });
+    }
+
     // The paper's observation: 10,000 installed rules cost nothing on the
     // fast path (hash hit) but the slow path scans linearly. The wildcard
     // table is the slow-path/TCAM model.
-    let mut g = c.benchmark_group("wildcard_lookup");
     for &n in &[10usize, 250, 2_048] {
         let mut t = WildcardTable::new(n + 1);
         for i in 0..n as u32 {
@@ -58,40 +74,36 @@ fn bench_wildcard(c: &mut Criterion) {
             )
             .unwrap();
         }
-        g.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
-            b.iter(|| black_box(t.lookup(&key(3), 1500).copied()));
+        s.bench(&format!("wildcard_lookup/scan/{n}"), || {
+            black_box(t.lookup(&key(3), 1500).copied());
         });
     }
-    g.finish();
-}
 
-fn bench_placer(c: &mut Criterion) {
-    use fastrak_host::bonding::FlowPlacer;
-    use fastrak_net::packet::PathTag;
-    let mut p = FlowPlacer::new();
-    for i in 0..64u32 {
-        p.install_rule(
-            FlowSpec {
-                tenant: Some(TenantId(1)),
-                dst_port: Some(10_000 + i as u16),
-                ..FlowSpec::ANY
-            },
-            10,
-            PathTag::SrIov,
-        );
-    }
-    // Warm the exact-match cache.
-    for i in 0..4_096u32 {
-        p.place(&key(i), 1500);
-    }
-    c.bench_function("flow_placer_cached_place", |b| {
+    {
+        use fastrak_host::bonding::FlowPlacer;
+        use fastrak_net::packet::PathTag;
+        let mut p = FlowPlacer::new();
+        for i in 0..64u32 {
+            p.install_rule(
+                FlowSpec {
+                    tenant: Some(TenantId(1)),
+                    dst_port: Some(10_000 + i as u16),
+                    ..FlowSpec::ANY
+                },
+                10,
+                PathTag::SrIov,
+            );
+        }
+        // Warm the exact-match cache.
+        for i in 0..4_096u32 {
+            p.place(&key(i), 1500);
+        }
         let mut i = 0u32;
-        b.iter(|| {
+        s.bench("flow_placer_cached_place", || {
             i = (i + 1) % 4_096;
-            black_box(p.place(&key(i), 1500))
+            black_box(p.place(&key(i), 1500));
         });
-    });
-}
+    }
 
-criterion_group!(benches, bench_exact_match, bench_wildcard, bench_placer);
-criterion_main!(benches);
+    s.finish();
+}

@@ -1,66 +1,186 @@
 //! Experiment runner: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments all            # every artifact, quick mode
+//! experiments all            # every artifact, quick mode, parallel
 //! experiments fig3 table4    # specific artifacts
 //! experiments all --full     # paper-duration runs (slow)
 //! experiments fig12 --csv    # also dump the Fig.12 seq trace as CSV
 //! experiments all --json out.json
+//! experiments all --serial   # disable the thread fan-out
+//! experiments all --threads 4  # explicit fan-out width
 //! ```
+//!
+//! Each experiment is an independent single-threaded DES world, so the
+//! suite fans out across cores with `std::thread::scope`. Results are
+//! printed in request order regardless of completion order, and the summary
+//! reports per-experiment wall-clock plus the fan-out speedup (sum of
+//! per-experiment times vs. elapsed wall time).
 
 use std::io::Write;
+use std::time::Instant;
 
 use fastrak_bench::experiments;
+use fastrak_bench::json;
 use fastrak_bench::report::Artifact;
+
+struct Done {
+    id: String,
+    artifacts: Vec<Artifact>,
+    secs: f64,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
-    let json_path = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let mut ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
-        .cloned()
-        .collect();
+    let serial = args.iter().any(|a| a == "--serial");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let json_path = flag_value("--json");
+    let threads_override: Option<usize> = flag_value("--threads").and_then(|v| v.parse().ok());
+    // Ids are the positional args: skip flags and the values they consume.
+    let mut skip_next = false;
+    let mut ids: Vec<String> = Vec::new();
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--json" || a == "--threads" {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            ids.push(a.clone());
+        }
+    }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
-        ids = experiments::all_ids().iter().map(|s| s.to_string()).collect();
+        ids = experiments::all_ids()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    for id in &ids {
+        if !experiments::all_ids().contains(&id.as_str()) {
+            eprintln!(
+                "unknown experiment '{id}'; known: {:?}",
+                experiments::all_ids()
+            );
+            std::process::exit(2);
+        }
     }
 
-    let mut artifacts: Vec<Artifact> = Vec::new();
-    for id in &ids {
-        eprintln!("running {id}{} ...", if full { " (full)" } else { "" });
-        let t0 = std::time::Instant::now();
-        match experiments::run(id, full) {
-            Some(arts) => {
-                eprintln!("  {id} done in {:.1}s", t0.elapsed().as_secs_f64());
-                for a in &arts {
-                    print!("{}", a.render());
-                }
-                artifacts.extend(arts);
-            }
-            None => {
-                eprintln!("unknown experiment '{id}'; known: {:?}", experiments::all_ids());
-                std::process::exit(2);
-            }
+    let threads = if serial {
+        1
+    } else {
+        threads_override
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, ids.len().max(1))
+    };
+    eprintln!(
+        "running {} experiment(s){} on {threads} thread(s) ...",
+        ids.len(),
+        if full { " (full)" } else { "" },
+    );
+
+    let suite_start = Instant::now();
+    // Fan out: a shared atomic index hands experiments to worker threads;
+    // results land in their request-order slot so output stays stable.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<Done>> = Vec::new();
+    slots.resize_with(ids.len(), || None);
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<Done>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(id) = ids.get(i) else { break };
+                let t0 = Instant::now();
+                let artifacts = experiments::run(id, full).expect("id validated above");
+                let secs = t0.elapsed().as_secs_f64();
+                eprintln!("  {id} done in {secs:.1}s");
+                **slot_refs[i].lock().expect("slot lock") = Some(Done {
+                    id: id.clone(),
+                    artifacts,
+                    secs,
+                });
+            });
         }
-        if id == "fig12" && csv {
+    });
+    let wall = suite_start.elapsed().as_secs_f64();
+    let done: Vec<Done> = slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect();
+
+    let mut artifacts: Vec<Artifact> = Vec::new();
+    for d in &done {
+        for a in &d.artifacts {
+            print!("{}", a.render());
+        }
+        if d.id == "fig12" && csv {
             let (_, points) = experiments::fig12::run_with_trace(full);
             println!("\n# fig12 trace (seconds,seq)");
             for (t, s) in points {
                 println!("{t:.6},{s}");
             }
         }
+        artifacts.extend(d.artifacts.iter().cloned());
     }
 
+    // Timing summary: the fan-out win is (sum of per-experiment time) / wall.
+    let cpu_sum: f64 = done.iter().map(|d| d.secs).sum();
+    println!("\n== timing ==");
+    for d in &done {
+        println!("{:10}  {:>8.2}s", d.id, d.secs);
+    }
+    println!(
+        "{:10}  {:>8.2}s  (sum of experiment times)",
+        "total", cpu_sum
+    );
+    println!(
+        "{:10}  {:>8.2}s  ({} thread(s), {:.2}x speedup)",
+        "wall",
+        wall,
+        threads,
+        cpu_sum / wall.max(1e-9)
+    );
+
     if let Some(path) = json_path {
+        let doc = json::object([
+            (
+                "artifacts",
+                json::array(artifacts.iter().map(Artifact::to_json)),
+            ),
+            (
+                "timing",
+                json::object([
+                    ("threads", json::num(threads as f64)),
+                    ("wall_seconds", json::num(wall)),
+                    ("experiment_seconds_sum", json::num(cpu_sum)),
+                    (
+                        "per_experiment",
+                        json::object(
+                            done.iter()
+                                .map(|d| (d.id.as_str(), json::num(d.secs)))
+                                .collect::<Vec<_>>(),
+                        ),
+                    ),
+                ]),
+            ),
+        ]);
         let f = std::fs::File::create(&path).expect("create json output");
         let mut w = std::io::BufWriter::new(f);
-        serde_json::to_writer_pretty(&mut w, &artifacts).expect("serialize artifacts");
+        w.write_all(doc.as_bytes()).expect("write artifacts json");
         w.flush().unwrap();
         eprintln!("wrote {path}");
     }

@@ -102,8 +102,20 @@ pub fn run(_full: bool) -> Vec<Artifact> {
     // Paper score: S = n × m_pps (the DecisionEngine's native function).
     let paper_cfg = DeConfig::paper();
     let (frac, tps) = run_cfg(paper_cfg, Timing::fine(), 6, 6);
-    a.push(Row::new("hw traffic fraction", "S = n × m_pps (paper)", None, frac, "fraction"));
-    a.push(Row::new("aggregate TPS", "S = n × m_pps (paper)", None, tps, "tps"));
+    a.push(Row::new(
+        "hw traffic fraction",
+        "S = n × m_pps (paper)",
+        None,
+        frac,
+        "fraction",
+    ));
+    a.push(Row::new(
+        "aggregate TPS",
+        "S = n × m_pps (paper)",
+        None,
+        tps,
+        "tps",
+    ));
     // pps-only: ignore the frequency term by zeroing history influence —
     // approximated with hysteresis off and a one-epoch memory via fine
     // timing and min_median 0 (the m_pps median over a short history is
@@ -111,8 +123,20 @@ pub fn run(_full: bool) -> Vec<Artifact> {
     let mut pps_only = DeConfig::paper();
     pps_only.hysteresis = 1.0;
     let (frac2, tps2) = run_cfg(pps_only, Timing::fine(), 6, 6);
-    a.push(Row::new("hw traffic fraction", "pps-only (no hysteresis)", None, frac2, "fraction"));
-    a.push(Row::new("aggregate TPS", "pps-only (no hysteresis)", None, tps2, "tps"));
+    a.push(Row::new(
+        "hw traffic fraction",
+        "pps-only (no hysteresis)",
+        None,
+        frac2,
+        "fraction",
+    ));
+    a.push(Row::new(
+        "aggregate TPS",
+        "pps-only (no hysteresis)",
+        None,
+        tps2,
+        "tps",
+    ));
     a.note("ablation beyond the paper; both selectors converge on the hot services in steady state — the hysteresis/median terms matter under churn");
 
     let mut b = Artifact::new(
@@ -122,8 +146,20 @@ pub fn run(_full: bool) -> Vec<Artifact> {
     );
     for budget in [1usize, 2, 4, 8, 16, 32] {
         let (frac, tps) = run_cfg(DeConfig::paper(), Timing::fine(), budget, 6);
-        b.push(Row::new("hw traffic fraction", format!("{budget} entries"), None, frac, "fraction"));
-        b.push(Row::new("aggregate TPS", format!("{budget} entries"), None, tps, "tps"));
+        b.push(Row::new(
+            "hw traffic fraction",
+            format!("{budget} entries"),
+            None,
+            frac,
+            "fraction",
+        ));
+        b.push(Row::new(
+            "aggregate TPS",
+            format!("{budget} entries"),
+            None,
+            tps,
+            "tps",
+        ));
     }
 
     let mut c = Artifact::new(
@@ -131,9 +167,18 @@ pub fn run(_full: bool) -> Vec<Artifact> {
         "Control-interval sensitivity",
         "finer control intervals react faster (the paper runs T = 5 s and T = 0.5 s, §5.2); steady-state selection is the same",
     );
-    for (label, timing) in [("T=0.5s (fine)", Timing::fine()), ("T=5s (coarse)", Timing::coarse())] {
+    for (label, timing) in [
+        ("T=0.5s (fine)", Timing::fine()),
+        ("T=5s (coarse)", Timing::coarse()),
+    ] {
         let (frac, tps) = run_cfg(DeConfig::paper(), timing, 8, 12);
-        c.push(Row::new("hw traffic fraction @12s", label, None, frac, "fraction"));
+        c.push(Row::new(
+            "hw traffic fraction @12s",
+            label,
+            None,
+            frac,
+            "fraction",
+        ));
         c.push(Row::new("aggregate TPS", label, None, tps, "tps"));
     }
     vec![a, b, c]

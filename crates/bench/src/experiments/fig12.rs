@@ -66,7 +66,12 @@ pub fn run_with_trace(_full: bool) -> (Artifact, Vec<TracePoint>) {
     let serverref = mb.server;
     let receiver = mb.bed.server(serverref.server);
     let delivered = receiver.vm(serverref.vm).stack.conn_ids().next().map(|id| {
-        receiver.vm(serverref.vm).stack.conn(id).stats.bytes_delivered
+        receiver
+            .vm(serverref.vm)
+            .stack
+            .conn(id)
+            .stats
+            .bytes_delivered
     });
     let mut points: Vec<TracePoint> = mb
         .bed
@@ -88,13 +93,49 @@ pub fn run_with_trace(_full: bool) -> (Artifact, Vec<TracePoint>) {
         "TCP sequence progression across flow migration",
         "the connection progresses normally through the shift: dup-ACKs and fast retransmits, recovery without a single RTO",
     );
-    a.push(Row::new("fast retransmits", "during run", Some(30.0), stats.fast_retransmits as f64, "events"));
-    a.push(Row::new("RTO timeouts", "during run", Some(0.0), stats.timeouts as f64, "events"));
-    a.push(Row::new("dup ACKs received", "during run", None, stats.dup_acks_rx as f64, "events"));
-    a.push(Row::new("frames via VIF", "pre+post shift", None, sw_frames as f64, "frames"));
-    a.push(Row::new("frames via SR-IOV", "post shift", None, hw_frames as f64, "frames"));
+    a.push(Row::new(
+        "fast retransmits",
+        "during run",
+        Some(30.0),
+        stats.fast_retransmits as f64,
+        "events",
+    ));
+    a.push(Row::new(
+        "RTO timeouts",
+        "during run",
+        Some(0.0),
+        stats.timeouts as f64,
+        "events",
+    ));
+    a.push(Row::new(
+        "dup ACKs received",
+        "during run",
+        None,
+        stats.dup_acks_rx as f64,
+        "events",
+    ));
+    a.push(Row::new(
+        "frames via VIF",
+        "pre+post shift",
+        None,
+        sw_frames as f64,
+        "frames",
+    ));
+    a.push(Row::new(
+        "frames via SR-IOV",
+        "post shift",
+        None,
+        hw_frames as f64,
+        "frames",
+    ));
     if let Some(d) = delivered {
-        a.push(Row::new("bytes delivered", "receiver", None, d as f64, "bytes"));
+        a.push(Row::new(
+            "bytes delivered",
+            "receiver",
+            None,
+            d as f64,
+            "bytes",
+        ));
     }
     // Monotone progression check across the migration window.
     let progressing = points.windows(2).all(|w| w[1].0 >= w[0].0);
@@ -105,7 +146,9 @@ pub fn run_with_trace(_full: bool) -> (Artifact, Vec<TracePoint>) {
         progressing as u64 as f64,
         "bool",
     ));
-    a.note("sender egress shifts at t=1 s; ACK path stays on the VIF (asymmetric, as in the paper)");
+    a.note(
+        "sender egress shifts at t=1 s; ACK path stays on the VIF (asymmetric, as in the paper)",
+    );
     a.note("seq-vs-time series available via `experiments fig12 --csv`");
     (a, points)
 }

@@ -53,7 +53,9 @@ pub fn measure_cell(setup: PathSetup, size: u64, quick: bool) -> Cell {
     let throughput_bps = {
         let mut mb = micro_bed(
             setup,
-            Box::new(StreamSender::new(StreamConfig::netperf(SERVER_IP, 5001, size))),
+            Box::new(StreamSender::new(StreamConfig::netperf(
+                SERVER_IP, 5001, size,
+            ))),
             Box::new(StreamSink::new(5001)),
             11,
         );
@@ -76,7 +78,9 @@ pub fn measure_cell(setup: PathSetup, size: u64, quick: bool) -> Cell {
     let (rr_mean_us, rr_p99_us) = {
         let mut mb = micro_bed(
             setup,
-            Box::new(RrClient::new(RrClientConfig::closed_loop(SERVER_IP, 5002, size))),
+            Box::new(RrClient::new(RrClientConfig::closed_loop(
+                SERVER_IP, 5002, size,
+            ))),
             Box::new(fastrak_workload::RrServer::new(
                 fastrak_workload::RrServerConfig {
                     port: 5002,
@@ -108,7 +112,9 @@ pub fn measure_cell(setup: PathSetup, size: u64, quick: bool) -> Cell {
     let (burst_tps, burst_mean_us) = {
         let mut mb = micro_bed(
             setup,
-            Box::new(RrClient::new(RrClientConfig::pipelined(SERVER_IP, 5003, size))),
+            Box::new(RrClient::new(RrClientConfig::pipelined(
+                SERVER_IP, 5003, size,
+            ))),
             Box::new(fastrak_workload::RrServer::new(
                 fastrak_workload::RrServerConfig {
                     port: 5003,
@@ -147,10 +153,16 @@ pub fn measure_cell(setup: PathSetup, size: u64, quick: bool) -> Cell {
 pub fn run(full: bool) -> Vec<Artifact> {
     let mut a = Artifact::new("fig3a", "Throughput (TCP_STREAM, 3 threads)",
         "SR-IOV ≥ every OVS config at every size; OVS+Tunneling capped ≈2 Gbps; small sizes are CPU-bound, large sizes near line rate");
-    let mut b = Artifact::new("fig3b", "Closed-loop TCP_RR average latency",
-        "SR-IOV delivers significantly lower average latency than every software path");
-    let mut c = Artifact::new("fig3c", "Closed-loop TCP_RR 99th-percentile latency",
-        "software paths have a heavier tail than SR-IOV");
+    let mut b = Artifact::new(
+        "fig3b",
+        "Closed-loop TCP_RR average latency",
+        "SR-IOV delivers significantly lower average latency than every software path",
+    );
+    let mut c = Artifact::new(
+        "fig3c",
+        "Closed-loop TCP_RR 99th-percentile latency",
+        "software paths have a heavier tail than SR-IOV",
+    );
     let mut d = Artifact::new("fig3d", "Pipelined (burst) transactions per second",
         "avg TPS over 64-1448B: SR-IOV ≈60k, baseline ≈34k, +tunneling ≈25k, +rate limiting ≈30k (SR-IOV up to 2× baseline; RL at 85-88% of baseline)");
     let mut e = Artifact::new("fig3e", "Pipelined (burst) average latency",
@@ -161,7 +173,13 @@ pub fn run(full: bool) -> Vec<Artifact> {
         for &size in &SIZES {
             let cell = measure_cell(setup, size, !full);
             let cfg = format!("{} @{}B", setup.label(), size);
-            a.push(Row::new("throughput", &cfg, None, cell.throughput_bps, "bps"));
+            a.push(Row::new(
+                "throughput",
+                &cfg,
+                None,
+                cell.throughput_bps,
+                "bps",
+            ));
             b.push(Row::new("rr avg", &cfg, None, cell.rr_mean_us, "us"));
             c.push(Row::new("rr p99", &cfg, None, cell.rr_p99_us, "us"));
             d.push(Row::new("burst tps", &cfg, None, cell.burst_tps, "tps"));
@@ -180,10 +198,34 @@ pub fn run(full: bool) -> Vec<Artifact> {
             .collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
-    d.push(Row::new("burst tps avg(64-1448)", "SR-IOV", Some(60_000.0), avg_small(PathSetup::Sriov), "tps"));
-    d.push(Row::new("burst tps avg(64-1448)", "Baseline OVS", Some(34_000.0), avg_small(PathSetup::BaselineOvs), "tps"));
-    d.push(Row::new("burst tps avg(64-1448)", "OVS+Tunneling", Some(25_000.0), avg_small(PathSetup::OvsTunnel), "tps"));
-    d.push(Row::new("burst tps avg(64-1448)", "OVS+Rate limiting", Some(30_000.0), avg_small(PathSetup::OvsRateLimit(0)), "tps"));
+    d.push(Row::new(
+        "burst tps avg(64-1448)",
+        "SR-IOV",
+        Some(60_000.0),
+        avg_small(PathSetup::Sriov),
+        "tps",
+    ));
+    d.push(Row::new(
+        "burst tps avg(64-1448)",
+        "Baseline OVS",
+        Some(34_000.0),
+        avg_small(PathSetup::BaselineOvs),
+        "tps",
+    ));
+    d.push(Row::new(
+        "burst tps avg(64-1448)",
+        "OVS+Tunneling",
+        Some(25_000.0),
+        avg_small(PathSetup::OvsTunnel),
+        "tps",
+    ));
+    d.push(Row::new(
+        "burst tps avg(64-1448)",
+        "OVS+Rate limiting",
+        Some(30_000.0),
+        avg_small(PathSetup::OvsRateLimit(0)),
+        "tps",
+    ));
 
     // Pipelined latency improvement of SR-IOV over baseline, small vs large.
     let lat = |setup: PathSetup, size: u64| -> f64 {
@@ -196,10 +238,34 @@ pub fn run(full: bool) -> Vec<Artifact> {
     let improvement = |base: PathSetup, size: u64| -> f64 {
         100.0 * (lat(base, size) - lat(PathSetup::Sriov, size)) / lat(base, size)
     };
-    e.push(Row::new("improvement vs baseline", "@64B", Some(49.0), improvement(PathSetup::BaselineOvs, 64), "%"));
-    e.push(Row::new("improvement vs baseline", "@32000B", Some(30.0), improvement(PathSetup::BaselineOvs, 32_000), "%"));
-    e.push(Row::new("improvement vs OVS+RL", "@64B", Some(56.0), improvement(PathSetup::OvsRateLimit(0), 64), "%"));
-    e.push(Row::new("improvement vs OVS+RL", "@32000B", Some(32.0), improvement(PathSetup::OvsRateLimit(0), 32_000), "%"));
+    e.push(Row::new(
+        "improvement vs baseline",
+        "@64B",
+        Some(49.0),
+        improvement(PathSetup::BaselineOvs, 64),
+        "%",
+    ));
+    e.push(Row::new(
+        "improvement vs baseline",
+        "@32000B",
+        Some(30.0),
+        improvement(PathSetup::BaselineOvs, 32_000),
+        "%",
+    ));
+    e.push(Row::new(
+        "improvement vs OVS+RL",
+        "@64B",
+        Some(56.0),
+        improvement(PathSetup::OvsRateLimit(0), 64),
+        "%",
+    ));
+    e.push(Row::new(
+        "improvement vs OVS+RL",
+        "@32000B",
+        Some(32.0),
+        improvement(PathSetup::OvsRateLimit(0), 32_000),
+        "%",
+    ));
 
     for art in [&mut a, &mut b, &mut c, &mut d, &mut e] {
         if !full {

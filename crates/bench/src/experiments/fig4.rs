@@ -136,15 +136,30 @@ pub fn run(full: bool) -> Vec<Artifact> {
         "the combined software path consumes 1.6-3× the CPU of SR-IOV",
     );
     for &size in &sizes {
-        let (sw_cpu, sw_good) = measure_cpu(
-            PathSetup::OvsTunnelRateLimit(1_000_000_000),
-            size,
-            !full,
-        );
+        let (sw_cpu, sw_good) =
+            measure_cpu(PathSetup::OvsTunnelRateLimit(1_000_000_000), size, !full);
         let (hw_cpu, hw_good) = measure_cpu(PathSetup::SriovHwLimit(1_000_000_000), size, !full);
-        b.push(Row::new("cpus", format!("OVS+Tun+RL @{size}B"), None, sw_cpu, "logical CPUs"));
-        b.push(Row::new("cpus", format!("SR-IOV(hw RL) @{size}B"), None, hw_cpu, "logical CPUs"));
-        b.push(Row::new("goodput sw/hw", format!("@{size}B"), None, sw_good / hw_good.max(1.0), "x"));
+        b.push(Row::new(
+            "cpus",
+            format!("OVS+Tun+RL @{size}B"),
+            None,
+            sw_cpu,
+            "logical CPUs",
+        ));
+        b.push(Row::new(
+            "cpus",
+            format!("SR-IOV(hw RL) @{size}B"),
+            None,
+            hw_cpu,
+            "logical CPUs",
+        ));
+        b.push(Row::new(
+            "goodput sw/hw",
+            format!("@{size}B"),
+            None,
+            sw_good / hw_good.max(1.0),
+            "x",
+        ));
         b.push(Row::new(
             "sw/hw cpu ratio",
             format!("@{size}B"),

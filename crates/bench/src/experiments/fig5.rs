@@ -14,14 +14,26 @@ use crate::scenarios::PathSetup;
 pub fn run(full: bool) -> Vec<Artifact> {
     let mut a = Artifact::new("fig5a", "Combined throughput @1G limit",
         "SR-IOV delivers consistently better throughput; software combination stays below the limit at small sizes (CPU-bound)");
-    let mut b = Artifact::new("fig5b", "Combined closed-loop average latency",
-        "software combination tracks OVS+Tunneling; SR-IOV clearly lower");
-    let mut c = Artifact::new("fig5c", "Combined closed-loop 99th-percentile latency",
-        "software tail markedly heavier than SR-IOV");
-    let mut d = Artifact::new("fig5d", "Combined burst TPS",
-        "SR-IOV sustains roughly twice the transactions of the combined software path");
-    let mut e = Artifact::new("fig5e", "Combined burst latency",
-        "combined software pipelined latency is 1.8-2.1× SR-IOV");
+    let mut b = Artifact::new(
+        "fig5b",
+        "Combined closed-loop average latency",
+        "software combination tracks OVS+Tunneling; SR-IOV clearly lower",
+    );
+    let mut c = Artifact::new(
+        "fig5c",
+        "Combined closed-loop 99th-percentile latency",
+        "software tail markedly heavier than SR-IOV",
+    );
+    let mut d = Artifact::new(
+        "fig5d",
+        "Combined burst TPS",
+        "SR-IOV sustains roughly twice the transactions of the combined software path",
+    );
+    let mut e = Artifact::new(
+        "fig5e",
+        "Combined burst latency",
+        "combined software pipelined latency is 1.8-2.1× SR-IOV",
+    );
 
     let limit = 1_000_000_000u64;
     for &size in &SIZES {
@@ -29,7 +41,13 @@ pub fn run(full: bool) -> Vec<Artifact> {
         let hw = measure_cell(PathSetup::SriovHwLimit(limit), size, !full);
         for (setup, cell) in [("OVS+Tun+RL", sw), ("SR-IOV (hw RL)", hw)] {
             let cfg = format!("{setup} @{size}B");
-            a.push(Row::new("throughput", &cfg, None, cell.throughput_bps, "bps"));
+            a.push(Row::new(
+                "throughput",
+                &cfg,
+                None,
+                cell.throughput_bps,
+                "bps",
+            ));
             b.push(Row::new("rr avg", &cfg, None, cell.rr_mean_us, "us"));
             c.push(Row::new("rr p99", &cfg, None, cell.rr_p99_us, "us"));
             d.push(Row::new("burst tps", &cfg, None, cell.burst_tps, "tps"));

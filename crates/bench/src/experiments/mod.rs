@@ -16,7 +16,14 @@ use crate::report::Artifact;
 /// Every experiment by id, in paper order.
 pub fn all_ids() -> &'static [&'static str] {
     &[
-        "fig3", "fig4", "fig5", "table1", "table2", "table3", "table4", "fig12",
+        "fig3",
+        "fig4",
+        "fig5",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig12",
         "ablations",
     ]
 }

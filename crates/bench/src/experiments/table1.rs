@@ -105,15 +105,29 @@ pub fn run(full: bool) -> Vec<Artifact> {
         "background load does not change the SR-IOV advantage",
     );
     for (art, background, paper) in [
-        (&mut a, false, [(106_574.0, 373.0, 3.3), (215_288.0, 192.0, 3.2)]),
-        (&mut b, true, [(96_093.0, 414.0, 4.1), (177_559.0, 231.0, 4.1)]),
+        (
+            &mut a,
+            false,
+            [(106_574.0, 373.0, 3.3), (215_288.0, 192.0, 3.2)],
+        ),
+        (
+            &mut b,
+            true,
+            [(96_093.0, 414.0, 4.1), (177_559.0, 231.0, 4.1)],
+        ),
     ] {
         for (sriov, (p_tps, p_lat, p_cpu)) in [(false, paper[0]), (true, paper[1])] {
             let (tps, lat, cpus) = measure(sriov, background, !full);
             let cfg = if sriov { "SR-IOV VF" } else { "VIF" };
             art.push(Row::new("TPS", cfg, Some(p_tps), tps, "tps"));
             art.push(Row::new("mean latency", cfg, Some(p_lat), lat, "us"));
-            art.push(Row::new("# CPUs (test server)", cfg, Some(p_cpu), cpus, "logical CPUs"));
+            art.push(Row::new(
+                "# CPUs (test server)",
+                cfg,
+                Some(p_cpu),
+                cpus,
+                "logical CPUs",
+            ));
         }
         art.note("paper runs memslap for 90 s; this harness uses a shorter stationary window (rates are unaffected)");
     }

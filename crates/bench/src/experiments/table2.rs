@@ -69,7 +69,9 @@ pub fn offload_servers(bed: &mut Testbed, servers: &[VmRef], clients: &[VmRef], 
             ..FlowSpec::ANY
         };
         let srv = bed.server_mut(s.server);
-        srv.vm_mut(s.vm).placer.install_rule(spec, 10, PathTag::SrIov);
+        srv.vm_mut(s.vm)
+            .placer
+            .install_rule(spec, 10, PathTag::SrIov);
         // Client egress toward this server (requests + acks).
         let spec = FlowSpec {
             tenant: Some(TENANT),
@@ -78,7 +80,9 @@ pub fn offload_servers(bed: &mut Testbed, servers: &[VmRef], clients: &[VmRef], 
         };
         for &c in clients {
             let srv = bed.server_mut(c.server);
-            srv.vm_mut(c.vm).placer.install_rule(spec, 10, PathTag::SrIov);
+            srv.vm_mut(c.vm)
+                .placer
+                .install_rule(spec, 10, PathTag::SrIov);
         }
     }
 }
@@ -146,7 +150,13 @@ pub fn run(full: bool) -> Vec<Artifact> {
     for (i, (pct_vif, p_fin, p_tps, p_lat, p_cpu)) in paper.into_iter().enumerate() {
         let (fin, tps, lat, cpus) = measure(i, requests, horizon);
         let cfg = format!("{pct_vif}% via VIF");
-        t.push(Row::new("mean finish", &cfg, Some(p_fin * scale), fin, "s (paper scaled)"));
+        t.push(Row::new(
+            "mean finish",
+            &cfg,
+            Some(p_fin * scale),
+            fin,
+            "s (paper scaled)",
+        ));
         t.push(Row::new("mean TPS/client", &cfg, Some(p_tps), tps, "tps"));
         t.push(Row::new("mean latency", &cfg, Some(p_lat), lat, "us"));
         t.push(Row::new("# CPUs", &cfg, Some(p_cpu), cpus, "logical CPUs"));

@@ -71,11 +71,7 @@ pub fn build(
 
 /// Run one configuration to completion; returns (finish s, TPS, latency µs,
 /// CPUs).
-pub fn measure_with(
-    bed: &mut Testbed,
-    clients: &[VmRef],
-    horizon_s: u64,
-) -> (f64, f64, f64, f64) {
+pub fn measure_with(bed: &mut Testbed, clients: &[VmRef], horizon_s: u64) -> (f64, f64, f64, f64) {
     bed.begin_cpu_windows();
     if bed.now() == SimTime::ZERO {
         bed.start();
@@ -132,7 +128,13 @@ pub fn run(full: bool) -> Vec<Artifact> {
         let (mut bed, servers, clients) = build(requests, transfer, 41);
         offload_servers(&mut bed, &servers, &clients, n_fast);
         let (fin, tps, lat, cpus) = measure_with(&mut bed, &clients, horizon);
-        t.push(Row::new("mean finish", cfg, Some(p_fin * scale), fin, "s (paper scaled)"));
+        t.push(Row::new(
+            "mean finish",
+            cfg,
+            Some(p_fin * scale),
+            fin,
+            "s (paper scaled)",
+        ));
         t.push(Row::new("mean TPS/client", cfg, Some(p_tps), tps, "tps"));
         t.push(Row::new("mean latency", cfg, Some(p_lat), lat, "us"));
         t.push(Row::new("# CPUs", cfg, Some(p_cpu), cpus, "logical CPUs"));

@@ -32,10 +32,28 @@ pub fn run(full: bool) -> Vec<Artifact> {
     {
         let (mut bed, _servers, clients) = build(requests, transfer, 43);
         let (fin, tps, lat, cpus) = measure_with(&mut bed, &clients, horizon);
-        t.push(Row::new("mean finish", "VIF only", Some(110.9 * scale), fin, "s (paper scaled)"));
-        t.push(Row::new("mean TPS/client", "VIF only", Some(18_044.2), tps, "tps"));
+        t.push(Row::new(
+            "mean finish",
+            "VIF only",
+            Some(110.9 * scale),
+            fin,
+            "s (paper scaled)",
+        ));
+        t.push(Row::new(
+            "mean TPS/client",
+            "VIF only",
+            Some(18_044.2),
+            tps,
+            "tps",
+        ));
         t.push(Row::new("mean latency", "VIF only", Some(440.2), lat, "us"));
-        t.push(Row::new("# CPUs", "VIF only", Some(7.6), cpus, "logical CPUs"));
+        t.push(Row::new(
+            "# CPUs",
+            "VIF only",
+            Some(7.6),
+            cpus,
+            "logical CPUs",
+        ));
     }
 
     // Row 2: FasTrak manages the rack. The paper modifies FasTrak to
@@ -46,7 +64,11 @@ pub fn run(full: bool) -> Vec<Artifact> {
         let ft = attach(
             &mut bed,
             FasTrakConfig {
-                timing: if full { Timing::coarse() } else { Timing::fine() },
+                timing: if full {
+                    Timing::coarse()
+                } else {
+                    Timing::fine()
+                },
                 de: DeConfig {
                     max_offloaded: Some(8),
                     ..DeConfig::paper()
@@ -66,16 +88,26 @@ pub fn run(full: bool) -> Vec<Artifact> {
                 fastrak_net::flow::FlowAggregate::Exact(k) => k.dst_port,
             })
             .collect();
-        let all_memcached = !ports.is_empty()
-            && ports
-                .iter()
-                .all(|&p| p == fastrak_workload::MEMCACHED_PORT);
+        let all_memcached =
+            !ports.is_empty() && ports.iter().all(|&p| p == fastrak_workload::MEMCACHED_PORT);
         (r, offloaded.len(), all_memcached)
     };
     let ((fin, tps, lat, cpus), n_offloaded, all_mc) = managed;
     let label = "VIF(start)+SR-IOV(rest)";
-    t.push(Row::new("mean finish", label, Some(57.34 * scale), fin, "s (paper scaled)"));
-    t.push(Row::new("mean TPS/client", label, Some(35_339.8), tps, "tps"));
+    t.push(Row::new(
+        "mean finish",
+        label,
+        Some(57.34 * scale),
+        fin,
+        "s (paper scaled)",
+    ));
+    t.push(Row::new(
+        "mean TPS/client",
+        label,
+        Some(35_339.8),
+        tps,
+        "tps",
+    ));
     t.push(Row::new("mean latency", label, Some(225.6), lat, "us"));
     t.push(Row::new("# CPUs", label, Some(6.0), cpus, "logical CPUs"));
     t.push(Row::new(
@@ -83,7 +115,11 @@ pub fn run(full: bool) -> Vec<Artifact> {
         "(all memcached?)",
         None,
         n_offloaded as f64,
-        if all_mc { "aggregates (all :11211)" } else { "aggregates (UNEXPECTED non-memcached!)" },
+        if all_mc {
+            "aggregates (all :11211)"
+        } else {
+            "aggregates (UNEXPECTED non-memcached!)"
+        },
     ));
     if !full {
         t.note(format!(

@@ -1,0 +1,171 @@
+//! Self-contained micro-benchmark harness (criterion replacement).
+//!
+//! The bench binaries (`datapath`, `tables`, `controller`) need wall-clock
+//! numbers with enough stability to detect order-of-magnitude hot-path
+//! regressions — not criterion's full statistical machinery. Each benchmark
+//! is auto-calibrated (warmup until the per-iteration cost is known), then
+//! sampled several times; the reported figure is the median sample's
+//! ns/iteration, which is robust to one-off scheduler hiccups.
+//!
+//! Output: an aligned text table on stdout, plus a JSON line per benchmark
+//! to the file named by `FASTRAK_BENCH_JSON` (append mode) so runs can be
+//! collected into `BENCH_baseline.json`.
+
+use std::hint::black_box as std_black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Opaque value barrier — prevents the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name (unique within the suite).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per sample used for the measurement.
+    pub iters_per_sample: u64,
+}
+
+/// A benchmark suite: create, `bench(...)` each case, then `finish()`.
+pub struct Suite {
+    name: String,
+    results: Vec<BenchResult>,
+    /// Target wall time per sample.
+    sample_target_ns: u64,
+    /// Samples per benchmark (median reported).
+    samples: usize,
+}
+
+impl Suite {
+    /// New suite with defaults: ~80 ms per sample, 5 samples.
+    pub fn new(name: impl Into<String>) -> Suite {
+        Suite {
+            name: name.into(),
+            results: Vec::new(),
+            sample_target_ns: 80_000_000,
+            samples: 5,
+        }
+    }
+
+    /// Quick mode (used by `--quick` / smoke tests): ~10 ms per sample,
+    /// 3 samples.
+    pub fn quick(mut self) -> Suite {
+        self.sample_target_ns = 10_000_000;
+        self.samples = 3;
+        self
+    }
+
+    /// Measure `f`, which performs ONE iteration of the benched operation.
+    pub fn bench<F: FnMut()>(&mut self, name: &str, mut f: F) {
+        // Calibrate: run until 5 ms has passed to estimate per-iter cost
+        // (also serves as warmup for caches/branch predictors).
+        let cal_start = Instant::now();
+        let mut cal_iters: u64 = 0;
+        while cal_start.elapsed().as_nanos() < 5_000_000 {
+            f();
+            cal_iters += 1;
+        }
+        let est_ns = (cal_start.elapsed().as_nanos() as f64 / cal_iters as f64).max(0.5);
+        let iters = ((self.sample_target_ns as f64 / est_ns) as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        eprintln!(
+            "{}/{name}: {} ns/iter ({iters} iters/sample)",
+            self.name,
+            fmt_ns(median)
+        );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            ns_per_iter: median,
+            iters_per_sample: iters,
+        });
+    }
+
+    /// Print the summary table and write JSON lines when
+    /// `FASTRAK_BENCH_JSON` is set. Returns the results for callers that
+    /// want them.
+    pub fn finish(self) -> Vec<BenchResult> {
+        println!("\n== {} ==", self.name);
+        let w = self
+            .results
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        println!("{:w$}  {:>14}", "name", "ns/iter");
+        for r in &self.results {
+            println!("{:w$}  {:>14}", r.name, fmt_ns(r.ns_per_iter));
+        }
+        if let Ok(path) = std::env::var("FASTRAK_BENCH_JSON") {
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .expect("open FASTRAK_BENCH_JSON file");
+            for r in &self.results {
+                let line = crate::json::object([
+                    ("suite", crate::json::quote(&self.name)),
+                    ("bench", crate::json::quote(&r.name)),
+                    ("ns_per_iter", crate::json::num(r.ns_per_iter)),
+                    (
+                        "iters_per_sample",
+                        crate::json::num(r.iters_per_sample as f64),
+                    ),
+                ]);
+                writeln!(f, "{line}").expect("write bench json line");
+            }
+        }
+        self.results
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.1}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut s = Suite::new("self-test").quick();
+        let mut acc = 0u64;
+        s.bench("add", || {
+            acc = black_box(acc.wrapping_add(black_box(3)));
+        });
+        let r = s.finish();
+        assert_eq!(r.len(), 1);
+        assert!(r[0].ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.34), "12.3ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34us");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34ms");
+    }
+}

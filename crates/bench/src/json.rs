@@ -1,0 +1,99 @@
+//! Minimal JSON emission.
+//!
+//! The harness writes machine-readable artifacts (`--json`) and the
+//! perf-trajectory file `BENCH_baseline.json`. The shapes involved are flat
+//! and known at compile time, so a tiny escape-and-format helper replaces
+//! the serde/serde_json dependency.
+
+/// Escape a string for inclusion in a JSON document (adds the quotes).
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an `f64` as a JSON number (JSON has no NaN/Infinity — map to null).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        // Keep integers clean: 5.0 -> "5.0" is fine for JSON, but avoid
+        // exponent noise for common counter values.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Format an optional number (`None` → null).
+pub fn opt_num(v: Option<f64>) -> String {
+    match v {
+        Some(v) => num(v),
+        None => "null".to_string(),
+    }
+}
+
+/// Join pre-rendered JSON values into an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, it) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&it);
+    }
+    out.push(']');
+    out
+}
+
+/// Join pre-rendered `(key, value)` pairs into an object.
+pub fn object<'a, I: IntoIterator<Item = (&'a str, String)>>(fields: I) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&quote(k));
+        out.push(':');
+        out.push_str(&v);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(quote("plain"), "\"plain\"");
+    }
+
+    #[test]
+    fn numbers_and_nulls() {
+        assert_eq!(num(2.5), "2.5");
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(opt_num(None), "null");
+    }
+
+    #[test]
+    fn composes_objects_and_arrays() {
+        let o = object([("x", num(1.0)), ("s", quote("hi"))]);
+        assert_eq!(o, "{\"x\":1,\"s\":\"hi\"}");
+        assert_eq!(array([num(1.0), num(2.0)]), "[1,2]");
+    }
+}

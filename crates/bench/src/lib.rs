@@ -20,6 +20,8 @@
 //! §6's memcached rack).
 
 pub mod experiments;
+pub mod harness;
+pub mod json;
 pub mod report;
 pub mod scenarios;
 

@@ -5,7 +5,7 @@
 use std::fmt::Write as _;
 
 /// One reported value.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Metric name (e.g. "throughput").
     pub metric: String,
@@ -36,10 +36,21 @@ impl Row {
             unit,
         }
     }
+
+    /// Serialize to a JSON object (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        crate::json::object([
+            ("metric", crate::json::quote(&self.metric)),
+            ("config", crate::json::quote(&self.config)),
+            ("paper", crate::json::opt_num(self.paper)),
+            ("measured", crate::json::num(self.measured)),
+            ("unit", crate::json::quote(self.unit)),
+        ])
+    }
 }
 
 /// One regenerated table/figure.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Artifact {
     /// Identifier, e.g. "fig3d" or "table2".
     pub id: String,
@@ -55,7 +66,11 @@ pub struct Artifact {
 
 impl Artifact {
     /// New empty artifact.
-    pub fn new(id: impl Into<String>, title: impl Into<String>, shape: impl Into<String>) -> Artifact {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        shape: impl Into<String>,
+    ) -> Artifact {
         Artifact {
             id: id.into(),
             title: title.into(),
@@ -73,6 +88,23 @@ impl Artifact {
     /// Add a note.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
+    }
+
+    /// Serialize to a JSON object (see [`crate::json`]).
+    pub fn to_json(&self) -> String {
+        crate::json::object([
+            ("id", crate::json::quote(&self.id)),
+            ("title", crate::json::quote(&self.title)),
+            ("shape", crate::json::quote(&self.shape)),
+            (
+                "rows",
+                crate::json::array(self.rows.iter().map(Row::to_json)),
+            ),
+            (
+                "notes",
+                crate::json::array(self.notes.iter().map(|n| crate::json::quote(n))),
+            ),
+        ])
     }
 
     /// Render as an aligned text table.

@@ -88,16 +88,8 @@ pub fn micro_bed(
         seed,
         ..TestbedConfig::default()
     });
-    let client = bed.add_vm(
-        0,
-        VmSpec::large("client", TENANT, CLIENT_IP),
-        client_app,
-    );
-    let server = bed.add_vm(
-        1,
-        VmSpec::large("server", TENANT, SERVER_IP),
-        server_app,
-    );
+    let client = bed.add_vm(0, VmSpec::large("client", TENANT, CLIENT_IP), client_app);
+    let server = bed.add_vm(1, VmSpec::large("server", TENANT, SERVER_IP), server_app);
     apply_setup(&mut bed, setup, &[client, server]);
     MicroBed {
         bed,
@@ -177,7 +169,9 @@ mod tests {
         ] {
             let mb = micro_bed(
                 setup,
-                Box::new(StreamSender::new(StreamConfig::netperf(SERVER_IP, 5001, 1448))),
+                Box::new(StreamSender::new(StreamConfig::netperf(
+                    SERVER_IP, 5001, 1448,
+                ))),
                 Box::new(StreamSink::new(5001)),
                 1,
             );

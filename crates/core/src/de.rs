@@ -134,10 +134,7 @@ impl DecisionEngine {
         budget: usize,
     ) -> Decision {
         let ranked = self.rank(demands);
-        let cap = self
-            .cfg
-            .max_offloaded
-            .map_or(budget, |m| m.min(budget));
+        let cap = self.cfg.max_offloaded.map_or(budget, |m| m.min(budget));
 
         let mut target: Vec<FlowAggregate> = Vec::new();
         let mut chosen: HashSet<FlowAggregate> = HashSet::new();
@@ -202,10 +199,7 @@ impl DecisionEngine {
             }
             // De-duplicate while preserving order.
             let mut seen = HashSet::new();
-            target = stable
-                .into_iter()
-                .filter(|a| seen.insert(*a))
-                .collect();
+            target = stable.into_iter().filter(|a| seen.insert(*a)).collect();
         }
 
         let target_set: HashSet<FlowAggregate> = target.iter().copied().collect();
@@ -346,11 +340,7 @@ mod tests {
         let mut cfg = DeConfig::paper();
         cfg.groups = vec![vec![agg(1), agg(2)]];
         let d = DecisionEngine::new(cfg);
-        let demands = vec![
-            demand(1, 1000.0, 2),
-            demand(2, 1.5, 2),
-            demand(3, 500.0, 2),
-        ];
+        let demands = vec![demand(1, 1000.0, 2), demand(2, 1.5, 2), demand(3, 500.0, 2)];
         // Budget 2: the group fits (2 entries) and outranks agg(3).
         let dec = d.decide(&demands, &HashSet::new(), 2);
         assert!(dec.target.contains(&agg(1)) && dec.target.contains(&agg(2)));

@@ -94,6 +94,8 @@ pub struct LocalControllerConfig {
 /// The local controller node.
 pub struct LocalController {
     cfg: LocalControllerConfig,
+    /// Cached display name (`Node::name` returns a borrow, not an allocation).
+    name: String,
     me: MeasurementEngine,
     epoch_in_interval: u32,
     interval: u64,
@@ -122,6 +124,7 @@ impl LocalController {
     pub fn new(cfg: LocalControllerConfig) -> LocalController {
         let hist = (cfg.timing.epochs_per_interval * cfg.timing.history_intervals) as usize;
         LocalController {
+            name: format!("local-ctrl@{}", cfg.server_ip),
             me: MeasurementEngine::new(cfg.timing.sample_gap.as_secs_f64(), hist),
             epoch_in_interval: 0,
             interval: 0,
@@ -160,7 +163,9 @@ impl LocalController {
 
     /// Stop managing a VM (it migrated away).
     pub fn release_vm(&mut self, tenant: TenantId, vm_ip: Ip) {
-        self.cfg.vms.retain(|&(t, ip)| !(t == tenant && ip == vm_ip));
+        self.cfg
+            .vms
+            .retain(|&(t, ip)| !(t == tenant && ip == vm_ip));
         self.cfg
             .limits
             .retain(|l| !(l.tenant == tenant && l.vm_ip == vm_ip));
@@ -316,10 +321,9 @@ impl LocalController {
                 let (sw_demand, hw_demand) = self.vm_demand(l.tenant, l.vm_ip, dir);
                 let prev = self.last_split.get(&(l.vm_ip, dtag)).copied();
                 let (sw_maxed, hw_maxed) = match prev {
-                    Some((ps, ph)) => (
-                        is_maxed(sw_demand, ps, 0.95),
-                        is_maxed(hw_demand, ph, 0.95),
-                    ),
+                    Some((ps, ph)) => {
+                        (is_maxed(sw_demand, ps, 0.95), is_maxed(hw_demand, ph, 0.95))
+                    }
                     None => (false, false),
                 };
                 let split = fps_split(
@@ -376,7 +380,9 @@ impl LocalController {
 impl Node<Event, NetCtx> for LocalController {
     fn on_event(&mut self, ev: Event, api: &mut Api<'_, Event, NetCtx>) {
         match ev {
-            Event::Timer { tag: tags::EPOCH, .. } => {
+            Event::Timer {
+                tag: tags::EPOCH, ..
+            } => {
                 self.request_dump(api, Phase::A);
                 api.timer(
                     self.cfg.timing.sample_gap,
@@ -418,7 +424,7 @@ impl Node<Event, NetCtx> for LocalController {
         }
     }
 
-    fn name(&self) -> String {
-        format!("local-ctrl@{}", self.cfg.server_ip)
+    fn name(&self) -> &str {
+        &self.name
     }
 }

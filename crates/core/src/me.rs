@@ -13,7 +13,8 @@
 //! demand profile**, which ships with the VM on migration so FasTrak can
 //! make offload decisions for cloned/migrated VMs immediately.
 
-use std::collections::{HashMap, VecDeque};
+use fastrak_sim::FxHashMap;
+use std::collections::VecDeque;
 
 use fastrak_net::addr::{Ip, TenantId};
 use fastrak_net::ctrl::FlowStatEntry;
@@ -54,7 +55,7 @@ pub struct MeasurementEngine {
     pub sample_gap_secs: f64,
     /// Epochs remembered: `N × M`.
     pub history_len: usize,
-    aggs: HashMap<FlowAggregate, AggState>,
+    aggs: FxHashMap<FlowAggregate, AggState>,
     epochs_done: u64,
 }
 
@@ -65,14 +66,14 @@ impl MeasurementEngine {
         MeasurementEngine {
             sample_gap_secs,
             history_len,
-            aggs: HashMap::new(),
+            aggs: FxHashMap::default(),
             epochs_done: 0,
         }
     }
 
     /// Fold a flow-stat dump into per-aggregate cumulative counters.
-    fn fold(entries: &[FlowStatEntry]) -> HashMap<FlowAggregate, (u64, u64)> {
-        let mut m: HashMap<FlowAggregate, (u64, u64)> = HashMap::new();
+    fn fold(entries: &[FlowStatEntry]) -> FxHashMap<FlowAggregate, (u64, u64)> {
+        let mut m: FxHashMap<FlowAggregate, (u64, u64)> = FxHashMap::default();
         for e in entries {
             for agg in [FlowAggregate::src_of(&e.key), FlowAggregate::dst_of(&e.key)] {
                 let v = m.entry(agg).or_insert((0, 0));

@@ -334,13 +334,11 @@ impl TorController {
             let xid = self.next_xid;
             self.next_xid += 1;
             for (agg, rule) in offloadable.iter().zip(&rules) {
-                self.installed_spec
-                    .insert(*agg, (rule.tenant, rule.spec));
+                self.installed_spec.insert(*agg, (rule.tenant, rule.spec));
                 self.spec_to_agg.insert((rule.tenant, rule.spec), *agg);
             }
             self.entries_used += rules.len();
-            self.pending_install
-                .insert(xid, (offloadable, broadcast));
+            self.pending_install.insert(xid, (offloadable, broadcast));
             api.send(
                 self.cfg.tor,
                 SimDuration::from_micros(100),
@@ -396,9 +394,7 @@ impl TorController {
             .copied()
             .filter(|a| match *a {
                 FlowAggregate::SrcApp { tenant, ip, .. }
-                | FlowAggregate::DstApp { tenant, ip, .. } => {
-                    tenant == m.tenant && ip == m.vm_ip
-                }
+                | FlowAggregate::DstApp { tenant, ip, .. } => tenant == m.tenant && ip == m.vm_ip,
                 FlowAggregate::Exact(k) => {
                     k.tenant == m.tenant && (k.src_ip == m.vm_ip || k.dst_ip == m.vm_ip)
                 }
@@ -445,7 +441,9 @@ impl TorController {
 impl Node<Event, NetCtx> for TorController {
     fn on_event(&mut self, ev: Event, api: &mut Api<'_, Event, NetCtx>) {
         match ev {
-            Event::Timer { tag: tags::EPOCH, .. } => {
+            Event::Timer {
+                tag: tags::EPOCH, ..
+            } => {
                 self.request_tor_dump(api, false);
                 api.timer(
                     self.cfg.timing.sample_gap,
@@ -463,10 +461,14 @@ impl Node<Event, NetCtx> for TorController {
             } => {
                 self.request_tor_dump(api, true);
             }
-            Event::Timer { tag: tags::DECIDE, .. } => {
+            Event::Timer {
+                tag: tags::DECIDE, ..
+            } => {
                 self.decide(api);
             }
-            Event::Timer { tag: tags::GC, a, .. } => {
+            Event::Timer {
+                tag: tags::GC, a, ..
+            } => {
                 if let Some(specs) = self.gc_queue.remove(&a) {
                     api.send(
                         self.cfg.tor,
@@ -489,9 +491,7 @@ impl Node<Event, NetCtx> for TorController {
                             self.hw.sample_b(&entries, &map, gap);
                             self.spec_to_agg = map;
                             self.epoch_in_interval += 1;
-                            if self.epoch_in_interval
-                                >= self.cfg.timing.epochs_per_interval
-                            {
+                            if self.epoch_in_interval >= self.cfg.timing.epochs_per_interval {
                                 self.epoch_in_interval = 0;
                                 self.interval += 1;
                                 // Decide shortly after the epoch closes so
@@ -534,7 +534,7 @@ impl Node<Event, NetCtx> for TorController {
         }
     }
 
-    fn name(&self) -> String {
-        "tor-ctrl".to_string()
+    fn name(&self) -> &str {
+        "tor-ctrl"
     }
 }

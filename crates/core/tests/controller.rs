@@ -99,14 +99,17 @@ fn offloads_high_pps_memcached_not_scp() {
         srv.stats.tx_hw_frames
     );
     // The placer on the memcached VM agrees.
-    let placed = srv.vm(mc.vm).placer.current_path(&fastrak_net::flow::FlowKey {
-        tenant: T,
-        src_ip: mc.ip,
-        dst_ip: Ip::tenant_vm(3),
-        proto: fastrak_net::flow::Proto::Tcp,
-        src_port: MEMCACHED_PORT,
-        dst_port: 43_000,
-    });
+    let placed = srv
+        .vm(mc.vm)
+        .placer
+        .current_path(&fastrak_net::flow::FlowKey {
+            tenant: T,
+            src_ip: mc.ip,
+            dst_ip: Ip::tenant_vm(3),
+            proto: fastrak_net::flow::Proto::Tcp,
+            src_port: MEMCACHED_PORT,
+            dst_port: 43_000,
+        });
     assert_eq!(placed, PathTag::SrIov);
 }
 
@@ -189,7 +192,11 @@ fn deterministic_offload_decisions() {
         ft.start(&mut bed);
         bed.start();
         bed.run_until(SimTime::from_secs(4));
-        let mut aggs: Vec<String> = ft.offloaded(&bed).iter().map(|a| format!("{a:?}")).collect();
+        let mut aggs: Vec<String> = ft
+            .offloaded(&bed)
+            .iter()
+            .map(|a| format!("{a:?}"))
+            .collect();
         aggs.sort();
         (aggs, bed.app::<MemslapClient>(cli).completed())
     };

@@ -110,14 +110,12 @@ impl Default for CostModel {
 impl CostModel {
     /// Guest CPU to transmit one (super-)segment.
     pub fn guest_tx(&self, pkt: &Packet) -> SimDuration {
-        self.guest_tx_fixed
-            + SimDuration((self.guest_per_byte_ns * pkt.payload as f64) as u64)
+        self.guest_tx_fixed + SimDuration((self.guest_per_byte_ns * pkt.payload as f64) as u64)
     }
 
     /// Guest CPU to receive one (super-)segment.
     pub fn guest_rx(&self, pkt: &Packet) -> SimDuration {
-        self.guest_rx_fixed
-            + SimDuration((self.guest_per_byte_ns * pkt.payload as f64) as u64)
+        self.guest_rx_fixed + SimDuration((self.guest_per_byte_ns * pkt.payload as f64) as u64)
     }
 
     /// Host CPU for the OVS datapath fast path on an offload-capable

@@ -25,4 +25,4 @@ pub use cost::CostModel;
 pub use server::{Server, ServerConfig, ServerStats, PORT_HW, PORT_SW};
 pub use sriov::{SriovNic, Vf};
 pub use vm::{Vm, VmSpec};
-pub use vswitch::{Vswitch, VswitchConfig, TxVerdict};
+pub use vswitch::{TxVerdict, Vswitch, VswitchConfig};

@@ -17,8 +17,6 @@
 //! path, and interrupt handling for SR-IOV — see
 //! [`crate::cost::CostModel`] for the calibration rationale.
 
-use std::collections::HashMap;
-
 use fastrak_net::addr::{Ip, TenantId, VlanId};
 use fastrak_net::ctrl::{CtrlReply, CtrlRequest, Dir};
 use fastrak_net::event::{CtlMsg, Event, NetCtx};
@@ -26,14 +24,15 @@ use fastrak_net::packet::{Encap, L4Meta, Packet, PathTag};
 use fastrak_net::tunnel::{TunnelKey, TunnelMapping};
 use fastrak_sim::cpu::CpuPool;
 use fastrak_sim::kernel::{Api, Node, NodeId};
-use fastrak_sim::time::{serialization_delay, SimDuration, SimTime};
 use fastrak_sim::tbf::TokenBucket;
+use fastrak_sim::time::{serialization_delay, SimDuration, SimTime};
+use fastrak_sim::FxHashMap;
 use fastrak_transport::tcp::TSO_LIMIT;
 
 use crate::app::GuestApi;
 use crate::cost::CostModel;
 use crate::vm::Vm;
-use crate::vswitch::{Vswitch, VswitchConfig, TxVerdict};
+use crate::vswitch::{TxVerdict, Vswitch, VswitchConfig};
 
 /// Timer tags used by server nodes.
 pub mod tags {
@@ -126,10 +125,23 @@ pub struct ServerStats {
 
 #[allow(clippy::enum_variant_names)] // stages are all completions
 enum Pending {
-    GuestTxDone { vm: usize, pkt: Packet },
-    VswitchTxDone { vm: usize, pkt: Packet, verdict: TxVerdict },
-    VswitchRxDone { vm: usize, pkt: Packet },
-    GuestRxDone { vm: usize, pkt: Packet },
+    GuestTxDone {
+        vm: usize,
+        pkt: Packet,
+    },
+    VswitchTxDone {
+        vm: usize,
+        pkt: Packet,
+        verdict: TxVerdict,
+    },
+    VswitchRxDone {
+        vm: usize,
+        pkt: Packet,
+    },
+    GuestRxDone {
+        vm: usize,
+        pkt: Packet,
+    },
 }
 
 /// The server node.
@@ -145,7 +157,7 @@ pub struct Server {
     /// Uplink wiring: (ToR node, ingress port index at the ToR) per local port.
     uplinks: [Option<(NodeId, usize)>; 2],
     link_free: [SimTime; 2],
-    pending: HashMap<u64, Pending>,
+    pending: FxHashMap<u64, Pending>,
     next_token: u64,
     /// Shared pool when `cfg.pinned_cpus` is set.
     pin_pool: Option<CpuPool>,
@@ -154,11 +166,11 @@ pub struct Server {
     /// parallel CPUs; without this, differing service times across a CPU
     /// pool would reorder a connection's segments and trigger spurious
     /// fast retransmits.
-    flow_clock: HashMap<(u64, u8), SimTime>,
+    flow_clock: FxHashMap<(u64, u8), SimTime>,
     /// Public counters.
     pub stats: ServerStats,
     window_start: SimTime,
-    hw_rate_tx: HashMap<usize, TokenBucket>,
+    hw_rate_tx: FxHashMap<usize, TokenBucket>,
 }
 
 impl Server {
@@ -172,13 +184,13 @@ impl Server {
             irq_pool: CpuPool::new(cfg.irq_threads),
             uplinks: [None, None],
             link_free: [SimTime::ZERO; 2],
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             next_token: 0,
             pin_pool: cfg.pinned_cpus.map(CpuPool::new),
-            flow_clock: HashMap::new(),
+            flow_clock: FxHashMap::default(),
             stats: ServerStats::default(),
             window_start: SimTime::ZERO,
-            hw_rate_tx: HashMap::new(),
+            hw_rate_tx: FxHashMap::default(),
             vms: Vec::new(),
             cfg,
         }
@@ -273,11 +285,7 @@ impl Server {
             + self.tunnel_pool.cpus_used(now)
             + self.irq_pool.cpus_used(now)
             + self.pin_pool.as_ref().map_or(0.0, |p| p.cpus_used(now))
-            + self
-                .vms
-                .iter()
-                .map(|v| v.vhost.cpus_used(now))
-                .sum::<f64>()
+            + self.vms.iter().map(|v| v.vhost.cpus_used(now)).sum::<f64>()
     }
 
     /// Average guest logical CPUs busy over the window (all VMs).
@@ -494,7 +502,12 @@ impl Server {
         }
     }
 
-    fn on_guest_tx_done(&mut self, api: &mut Api<'_, Event, NetCtx>, vm_idx: usize, mut pkt: Packet) {
+    fn on_guest_tx_done(
+        &mut self,
+        api: &mut Api<'_, Event, NetCtx>,
+        vm_idx: usize,
+        mut pkt: Packet,
+    ) {
         self.vms[vm_idx].tx_inflight -= 1;
         let wire = pkt.wire_bytes_total();
         let (path, _first) = self.vms[vm_idx].placer.place(&pkt.flow, wire);
@@ -549,10 +562,7 @@ impl Server {
                         return;
                     }
                 };
-                let vlan = self
-                    .nic
-                    .vlan_of_vm(vm_idx)
-                    .expect("VF exists but no VLAN");
+                let vlan = self.nic.vlan_of_vm(vm_idx).expect("VF exists but no VLAN");
                 pkt.encap(Encap::Vlan(vlan.0));
                 self.nic_tx(api, PORT_HW, at, pkt);
             }
@@ -682,9 +692,13 @@ impl Server {
                 } else {
                     self.cfg.cost.vswitch_fast(&pkt, rate_limited)
                 };
-                let Some(done) =
-                    self.try_submit_vswitch(vm_idx, api.now, cost, tunneled, self.cfg.max_rx_backlog)
-                else {
+                let Some(done) = self.try_submit_vswitch(
+                    vm_idx,
+                    api.now,
+                    cost,
+                    tunneled,
+                    self.cfg.max_rx_backlog,
+                ) else {
                     self.stats.rx_drops += 1;
                     return;
                 };
@@ -766,7 +780,10 @@ impl Server {
                 api.send(
                     from,
                     CTRL_LATENCY,
-                    Event::Ctl(CtlMsg::new(api.self_id, CtrlReply::FlowStats { xid, entries })),
+                    Event::Ctl(CtlMsg::new(
+                        api.self_id,
+                        CtrlReply::FlowStats { xid, entries },
+                    )),
                 );
             }
             CtrlRequest::InstallPlacerRule {
@@ -780,7 +797,11 @@ impl Server {
                     self.vms[idx].placer.install_rule(spec, priority, path);
                 }
             }
-            CtrlRequest::RemovePlacerRule { vm_ip, tenant, spec } => {
+            CtrlRequest::RemovePlacerRule {
+                vm_ip,
+                tenant,
+                spec,
+            } => {
                 if let Some(idx) = self.vm_by_ip(tenant, vm_ip) {
                     self.vms[idx].placer.remove_rule(&spec);
                 }
@@ -795,12 +816,15 @@ impl Server {
                     }
                 }
             }
-            CtrlRequest::SetHwRate { vm_ip, dir, bps, .. } => {
+            CtrlRequest::SetHwRate {
+                vm_ip, dir, bps, ..
+            } => {
                 // NIC-side hw shaping (the ToR also supports SetHwRate).
                 if let Some(idx) = self.vms.iter().position(|v| v.spec.ip == vm_ip) {
                     if matches!(dir, Dir::Egress) {
                         let burst = (bps / 8 / 100).max(64_000);
-                        self.hw_rate_tx.insert(idx, TokenBucket::new(bps.max(1), burst));
+                        self.hw_rate_tx
+                            .insert(idx, TokenBucket::new(bps.max(1), burst));
                     }
                 }
             }
@@ -833,9 +857,7 @@ impl Node<Event, NetCtx> for Server {
                         Pending::VswitchTxDone { vm, pkt, verdict } => {
                             self.on_vswitch_tx_done(api, vm, pkt, verdict)
                         }
-                        Pending::VswitchRxDone { vm, pkt } => {
-                            self.on_vswitch_rx_done(api, vm, pkt)
-                        }
+                        Pending::VswitchRxDone { vm, pkt } => self.on_vswitch_rx_done(api, vm, pkt),
                         Pending::GuestRxDone { vm, pkt } => self.on_guest_rx_done(api, vm, pkt),
                     }
                 }
@@ -873,7 +895,7 @@ impl Node<Event, NetCtx> for Server {
         }
     }
 
-    fn name(&self) -> String {
-        self.cfg.name.clone()
+    fn name(&self) -> &str {
+        &self.cfg.name
     }
 }

@@ -88,7 +88,11 @@ impl SriovNic {
                 max_vfs: self.max_vfs,
             });
         }
-        if self.vfs.iter().any(|vf| vf.vlan == vlan && vf.vm_ip == vm_ip) {
+        if self
+            .vfs
+            .iter()
+            .any(|vf| vf.vlan == vlan && vf.vm_ip == vm_ip)
+        {
             return Err(SriovError::VlanInUse(vlan.0));
         }
         self.vfs.push(Vf {
@@ -171,8 +175,10 @@ mod tests {
     #[test]
     fn vf_allocation_bounded() {
         let mut nic = SriovNic::new(2);
-        nic.alloc_vf(0, TenantId(1), Ip::tenant_vm(0), VlanId::new(100)).unwrap();
-        nic.alloc_vf(1, TenantId(2), Ip::tenant_vm(1), VlanId::new(101)).unwrap();
+        nic.alloc_vf(0, TenantId(1), Ip::tenant_vm(0), VlanId::new(100))
+            .unwrap();
+        nic.alloc_vf(1, TenantId(2), Ip::tenant_vm(1), VlanId::new(101))
+            .unwrap();
         assert_eq!(
             nic.alloc_vf(2, TenantId(3), Ip::tenant_vm(2), VlanId::new(102)),
             Err(SriovError::NoFreeVf { max_vfs: 2 })
@@ -182,7 +188,8 @@ mod tests {
     #[test]
     fn vlan_collision_rejected() {
         let mut nic = SriovNic::new(4);
-        nic.alloc_vf(0, TenantId(1), Ip::tenant_vm(0), VlanId::new(100)).unwrap();
+        nic.alloc_vf(0, TenantId(1), Ip::tenant_vm(0), VlanId::new(100))
+            .unwrap();
         // Same (VLAN, IP) pair collides; same VLAN with a different IP is
         // fine (VLAN identifies the tenant, not the VM).
         assert_eq!(
@@ -209,15 +216,20 @@ mod tests {
     fn tx_requires_a_vf() {
         let mut nic = SriovNic::new(4);
         assert_eq!(nic.tx_through_vf(0, SimTime::ZERO, 100), None);
-        nic.alloc_vf(0, TenantId(1), Ip::tenant_vm(0), VlanId::new(5)).unwrap();
-        assert_eq!(nic.tx_through_vf(0, SimTime::ZERO, 100), Some(SimTime::ZERO));
+        nic.alloc_vf(0, TenantId(1), Ip::tenant_vm(0), VlanId::new(5))
+            .unwrap();
+        assert_eq!(
+            nic.tx_through_vf(0, SimTime::ZERO, 100),
+            Some(SimTime::ZERO)
+        );
         assert_eq!(nic.vfs()[0].tx_packets, 1);
     }
 
     #[test]
     fn nic_tx_limit_shapes() {
         let mut nic = SriovNic::new(4);
-        nic.alloc_vf(0, TenantId(1), Ip::tenant_vm(0), VlanId::new(5)).unwrap();
+        nic.alloc_vf(0, TenantId(1), Ip::tenant_vm(0), VlanId::new(5))
+            .unwrap();
         assert!(nic.set_vf_tx_limit(0, Some(TokenBucket::new(8_000, 1_000))));
         let t0 = SimTime::ZERO;
         assert_eq!(nic.tx_through_vf(0, t0, 1_000), Some(t0));
@@ -231,7 +243,8 @@ mod tests {
     #[test]
     fn vlan_of_vm_lookup() {
         let mut nic = SriovNic::new(4);
-        nic.alloc_vf(2, TenantId(1), Ip::tenant_vm(2), VlanId::new(42)).unwrap();
+        nic.alloc_vf(2, TenantId(1), Ip::tenant_vm(2), VlanId::new(42))
+            .unwrap();
         assert_eq!(nic.vlan_of_vm(2), Some(VlanId::new(42)));
         assert_eq!(nic.vlan_of_vm(0), None);
     }

@@ -56,15 +56,13 @@ struct DpAction {
 }
 
 /// Per-VIF software rate limiters (tc htb semantics).
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct VifRates {
     /// Egress shaper (None = unlimited).
     pub egress: Option<TokenBucket>,
     /// Ingress policer/shaper.
     pub ingress: Option<TokenBucket>,
 }
-
 
 /// Configuration block mirroring the paper's OVS configurations (§2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -7,7 +7,7 @@
 //! the wire. Integration tests encode each experiment's encap stack through
 //! these codecs to prove size accounting and field placement are faithful.
 
-use bytes::{Buf, BufMut, BytesMut};
+use crate::wire::{Buf, BytesMut};
 
 use crate::addr::{Ip, Mac};
 use crate::checksum::{fold, internet_checksum, sum_words};

@@ -29,12 +29,13 @@ pub mod packet;
 pub mod rules;
 pub mod tables;
 pub mod tunnel;
+pub mod wire;
 
 pub use addr::{Ip, Mac, TenantId, VlanId};
 pub use ctrl::{CtrlReply, CtrlRequest, Dir, FlowStatEntry, TorRule, TorStatEntry};
 pub use event::{CtlMsg, Event, NetCtx};
 pub use flow::{FlowAggregate, FlowKey, FlowSpec, Proto};
-pub use packet::{Encap, L4Meta, Packet, PathTag, MTU};
+pub use packet::{Encap, EncapStack, L4Meta, Packet, PathTag, ENCAP_MAX_DEPTH, MTU};
 pub use rules::{Action, QosClass, RuleSet, SecurityRule};
 pub use tables::{ExactMatchTable, WildcardTable};
 pub use tunnel::{TunnelKey, TunnelMapping, TunnelTable};

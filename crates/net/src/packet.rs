@@ -6,14 +6,13 @@
 //! [`Packet::encode_wire`] / [`Packet::decode_wire`] can materialize and
 //! re-parse the actual bytes (used by tests to prove wire fidelity).
 
-use bytes::BytesMut;
-
 use crate::addr::{Ip, Mac, TenantId};
 use crate::flow::{FlowKey, Proto};
 use crate::headers::{
     ethertype, EthernetHeader, GreHeader, HeaderError, Ipv4Header, TcpHeader, UdpHeader,
     VxlanHeader,
 };
+use crate::wire::BytesMut;
 use fastrak_sim::time::SimTime;
 
 /// Standard data-center MTU used throughout the paper's testbed (§3.1).
@@ -63,6 +62,81 @@ impl Encap {
     }
 }
 
+/// Maximum encapsulation depth any code path produces: one VLAN tag plus one
+/// tunnel (GRE or VXLAN). The paper's datapath never nests tunnels.
+pub const ENCAP_MAX_DEPTH: usize = 2;
+
+/// Inline fixed-capacity encapsulation stack (innermost first).
+///
+/// Replaces `Vec<Encap>` on [`Packet`]: the stack lives inside the packet
+/// struct, so pushing a tunnel header or cloning a packet at a hop does not
+/// touch the heap. Pushing beyond [`ENCAP_MAX_DEPTH`] panics — depth > 2
+/// would mean a topology bug, not a bigger stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EncapStack {
+    len: u8,
+    slots: [Option<Encap>; ENCAP_MAX_DEPTH],
+}
+
+impl EncapStack {
+    /// Empty stack.
+    pub fn new() -> EncapStack {
+        EncapStack::default()
+    }
+
+    /// Number of encapsulations on the stack.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no encapsulation is applied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Push an encapsulation (becomes the outermost layer).
+    ///
+    /// # Panics
+    /// Panics if the stack already holds [`ENCAP_MAX_DEPTH`] layers.
+    #[inline]
+    pub fn push(&mut self, e: Encap) {
+        let i = self.len as usize;
+        assert!(
+            i < ENCAP_MAX_DEPTH,
+            "encap depth exceeds ENCAP_MAX_DEPTH ({ENCAP_MAX_DEPTH})"
+        );
+        self.slots[i] = Some(e);
+        self.len += 1;
+    }
+
+    /// Pop the outermost encapsulation.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Encap> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        self.slots[self.len as usize].take()
+    }
+
+    /// The outermost encapsulation, if any.
+    #[inline]
+    pub fn last(&self) -> Option<&Encap> {
+        if self.len == 0 {
+            None
+        } else {
+            self.slots[self.len as usize - 1].as_ref()
+        }
+    }
+
+    /// Iterate innermost → outermost.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &Encap> + ExactSizeIterator {
+        self.slots[..self.len as usize]
+            .iter()
+            .map(|s| s.as_ref().expect("slot below len is filled"))
+    }
+}
+
 /// L4 metadata carried by a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum L4Meta {
@@ -106,8 +180,8 @@ pub struct Packet {
     /// Application payload bytes in this packet (≤ MSS on the wire; larger
     /// values represent a TSO super-segment until segmentation).
     pub payload: u32,
-    /// Encapsulation stack, innermost first.
-    pub encaps: Vec<Encap>,
+    /// Encapsulation stack, innermost first (inline, no heap).
+    pub encaps: EncapStack,
     /// Path taken out of the source server.
     pub path: PathTag,
     /// When the *application* handed the packet to its socket (end-to-end
@@ -125,7 +199,7 @@ impl Packet {
             flow,
             l4,
             payload,
-            encaps: Vec::new(),
+            encaps: EncapStack::new(),
             path: PathTag::Unplaced,
             sent_at,
             qos_class: 0,
@@ -269,10 +343,7 @@ impl Packet {
         }
         // Inner Ethernet (skipped under GRE which carries IP directly; for
         // simplicity we always emit it unless the outermost decap was GRE).
-        let under_gre = self
-            .encaps
-            .iter()
-            .any(|e| matches!(e, Encap::Gre { .. }));
+        let under_gre = self.encaps.iter().any(|e| matches!(e, Encap::Gre { .. }));
         if !under_gre {
             EthernetHeader {
                 dst: dst_mac,
@@ -323,8 +394,7 @@ impl Packet {
         let mut cur = bytes;
         let _eth = EthernetHeader::decode(&mut cur)?;
         let ip = Ipv4Header::decode(&mut cur)?;
-        let proto =
-            Proto::from_number(ip.protocol).ok_or(HeaderError::Malformed("ip protocol"))?;
+        let proto = Proto::from_number(ip.protocol).ok_or(HeaderError::Malformed("ip protocol"))?;
         let (src_port, dst_port) = match proto {
             Proto::Tcp => {
                 let t = TcpHeader::decode(&mut cur)?;
@@ -447,6 +517,34 @@ mod tests {
         assert_eq!(p.wire_bytes_total(), 2 * 1448 + 2 * 54);
         // Pure-ack packets still occupy one header's worth of wire.
         assert_eq!(pkt(0).wire_bytes_total(), 54);
+    }
+
+    #[test]
+    fn encap_stack_is_inline_and_lifo() {
+        let mut s = EncapStack::new();
+        assert!(s.is_empty());
+        s.push(Encap::Vlan(5));
+        s.push(Encap::Gre {
+            key: 1,
+            src: Ip::UNSPECIFIED,
+            dst: Ip::UNSPECIFIED,
+        });
+        assert_eq!(s.len(), 2);
+        let layers: Vec<_> = s.iter().collect();
+        assert!(matches!(layers[0], Encap::Vlan(5)));
+        assert!(matches!(layers[1], Encap::Gre { .. }));
+        assert!(matches!(s.pop(), Some(Encap::Gre { .. })));
+        assert_eq!(s.pop(), Some(Encap::Vlan(5)));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "encap depth")]
+    fn encap_stack_overflow_panics() {
+        let mut p = pkt(0);
+        p.encap(Encap::Vlan(1));
+        p.encap(Encap::Vlan(2));
+        p.encap(Encap::Vlan(3));
     }
 
     #[test]

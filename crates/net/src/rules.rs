@@ -98,8 +98,7 @@ impl RuleSet {
             .iter()
             .filter(|r| r.spec.matches(key))
             .max_by(|a, b| {
-                (a.priority, a.spec.specificity())
-                    .cmp(&(b.priority, b.spec.specificity()))
+                (a.priority, a.spec.specificity()).cmp(&(b.priority, b.spec.specificity()))
             })
     }
 
@@ -109,8 +108,7 @@ impl RuleSet {
             .iter()
             .filter(|r| r.spec.matches(key))
             .max_by(|a, b| {
-                (a.priority, a.spec.specificity())
-                    .cmp(&(b.priority, b.spec.specificity()))
+                (a.priority, a.spec.specificity()).cmp(&(b.priority, b.spec.specificity()))
             })
             .map(|r| r.class)
     }
@@ -232,7 +230,11 @@ mod tests {
             rs.add_security(SecurityRule {
                 spec: port_spec(i),
                 priority: 5,
-                action: if i % 2 == 0 { Action::Allow } else { Action::Deny },
+                action: if i % 2 == 0 {
+                    Action::Allow
+                } else {
+                    Action::Deny
+                },
             });
         }
         assert_eq!(rs.evaluate(&key(400)), Some(Action::Allow));

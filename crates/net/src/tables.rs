@@ -14,16 +14,15 @@
 //! Both keep per-entry packet/byte counters because the Measurement Engine
 //! reads them (OpenFlow flow-stats style) to compute pps/bps.
 
-use std::collections::HashMap;
-
 use fastrak_sim::stats::Counter;
+use fastrak_sim::FxHashMap;
 
 use crate::flow::{FlowKey, FlowSpec};
 
 /// An exact-match flow table with per-entry statistics.
 #[derive(Debug, Clone)]
 pub struct ExactMatchTable<V> {
-    entries: HashMap<FlowKey, Entry<V>>,
+    entries: FxHashMap<FlowKey, Entry<V>>,
     lookups: u64,
     misses: u64,
 }
@@ -37,7 +36,7 @@ struct Entry<V> {
 impl<V> Default for ExactMatchTable<V> {
     fn default() -> Self {
         ExactMatchTable {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             lookups: 0,
             misses: 0,
         }
@@ -226,19 +225,17 @@ impl<V> WildcardTable<V> {
         };
         self.next_seq += 1;
         // Keep sorted: higher priority first, then more specific, then older.
-        let pos = self
-            .entries
-            .partition_point(|e| {
-                (
-                    std::cmp::Reverse(e.priority),
-                    std::cmp::Reverse(e.spec.specificity()),
-                    e.insert_seq,
-                ) <= (
-                    std::cmp::Reverse(priority),
-                    std::cmp::Reverse(spec.specificity()),
-                    entry.insert_seq,
-                )
-            });
+        let pos = self.entries.partition_point(|e| {
+            (
+                std::cmp::Reverse(e.priority),
+                std::cmp::Reverse(e.spec.specificity()),
+                e.insert_seq,
+            ) <= (
+                std::cmp::Reverse(priority),
+                std::cmp::Reverse(spec.specificity()),
+                entry.insert_seq,
+            )
+        });
         self.entries.insert(pos, entry);
         Ok(())
     }
@@ -360,8 +357,10 @@ mod tests {
     #[test]
     fn wildcard_fifo_among_equal_rules() {
         let mut t = WildcardTable::new(10);
-        t.install(FlowSpec::tenant(TenantId(1)), 5, "first").unwrap();
-        t.install(FlowSpec::tenant(TenantId(1)), 5, "second").unwrap();
+        t.install(FlowSpec::tenant(TenantId(1)), 5, "first")
+            .unwrap();
+        t.install(FlowSpec::tenant(TenantId(1)), 5, "second")
+            .unwrap();
         assert_eq!(t.lookup(&key(80), 1), Some(&"first"));
     }
 

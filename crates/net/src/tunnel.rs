@@ -7,9 +7,8 @@
 //! hardware path tunnels GRE to the destination *ToR* (§4.1.3). VM
 //! migration (S4) updates these mappings at every communicating peer.
 
-use std::collections::HashMap;
-
 use crate::addr::{Ip, TenantId};
+use fastrak_sim::FxHashMap;
 
 /// Key identifying a tunnel mapping: which tenant VM are we sending to?
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,7 +31,7 @@ pub struct TunnelMapping {
 /// A table of tunnel mappings with hit accounting.
 #[derive(Debug, Clone, Default)]
 pub struct TunnelTable {
-    map: HashMap<TunnelKey, TunnelMapping>,
+    map: FxHashMap<TunnelKey, TunnelMapping>,
     lookups: u64,
     misses: u64,
 }

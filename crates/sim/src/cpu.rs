@@ -13,8 +13,8 @@
 //! metric: `busy_time / elapsed` is exactly the average number of busy
 //! logical CPUs over the window.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 

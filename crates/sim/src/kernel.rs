@@ -12,9 +12,9 @@
 //! runs replay identically.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
+use crate::fxhash::FxHashSet;
 use crate::rng::Rng;
 use crate::time::{SimDuration, SimTime};
 
@@ -22,8 +22,20 @@ use crate::time::{SimDuration, SimTime};
 pub type NodeId = usize;
 
 /// Handle to a scheduled event; used to cancel timers.
+///
+/// Packs the event's delivery time and schedule sequence number into one
+/// `(time << 64) | seq` key. Because events are delivered in strictly
+/// increasing key order, comparing a handle's key against the kernel's
+/// last-popped watermark tells exactly whether the event already fired —
+/// which is what lets [`Kernel::cancel`] be a no-op for fired events instead
+/// of leaking a tombstone per cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventHandle(u64);
+pub struct EventHandle(u128);
+
+#[inline]
+fn event_key(time: SimTime, seq: u64) -> u128 {
+    ((time.as_nanos() as u128) << 64) | seq as u128
+}
 
 /// A simulated entity that receives timestamped events.
 pub trait Node<E, C>: Any {
@@ -31,22 +43,36 @@ pub trait Node<E, C>: Any {
     /// clock, shared context, RNG, and event scheduling.
     fn on_event(&mut self, ev: E, api: &mut Api<'_, E, C>);
 
-    /// Human-readable name for traces and panics.
-    fn name(&self) -> String {
-        "node".to_string()
+    /// Human-readable name for traces and panics. Borrowed, not allocated:
+    /// callers that need an owned copy (the kernel's name registry, trace
+    /// records) pay for it explicitly.
+    fn name(&self) -> &str {
+        "node"
     }
 }
 
 struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
+    /// `(time << 64) | seq` — one u128 comparison orders the heap.
+    key: u128,
     dst: NodeId,
     ev: E,
 }
 
+impl<E> Scheduled<E> {
+    #[inline]
+    fn time(&self) -> SimTime {
+        SimTime((self.key >> 64) as u64)
+    }
+
+    #[inline]
+    fn seq(&self) -> u64 {
+        self.key as u64
+    }
+}
+
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<E> Eq for Scheduled<E> {}
@@ -56,8 +82,12 @@ impl<E> PartialOrd for Scheduled<E> {
     }
 }
 impl<E> Ord for Scheduled<E> {
+    /// Reversed on purpose: `BinaryHeap` is a max-heap, so inverting the key
+    /// comparison makes `pop()` return the earliest `(time, seq)` without a
+    /// `Reverse` wrapper on every element.
+    #[inline]
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -75,9 +105,10 @@ pub struct Api<'a, E, C> {
     pub ctx: &'a mut C,
     /// Deterministic RNG (one shared stream; fork per node for isolation).
     pub rng: &'a mut Rng,
-    queue: &'a mut BinaryHeap<Reverse<Scheduled<E>>>,
+    queue: &'a mut BinaryHeap<Scheduled<E>>,
     next_seq: &'a mut u64,
-    cancelled: &'a mut HashSet<u64>,
+    cancelled: &'a mut FxHashSet<u64>,
+    last_popped: u128,
 }
 
 impl<'a, E, C> Api<'a, E, C> {
@@ -92,13 +123,9 @@ impl<'a, E, C> Api<'a, E, C> {
         let at = at.max(self.now);
         let seq = *self.next_seq;
         *self.next_seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            time: at,
-            seq,
-            dst,
-            ev,
-        }));
-        EventHandle(seq)
+        let key = event_key(at, seq);
+        self.queue.push(Scheduled { key, dst, ev });
+        EventHandle(key)
     }
 
     /// Schedule an event to this node itself (timer idiom).
@@ -107,9 +134,12 @@ impl<'a, E, C> Api<'a, E, C> {
     }
 
     /// Cancel a previously scheduled event. Cancelling an event that already
-    /// fired is a harmless no-op.
+    /// fired is a harmless no-op (and leaves no tombstone behind: the handle
+    /// key is compared against the delivery watermark).
     pub fn cancel(&mut self, h: EventHandle) {
-        self.cancelled.insert(h.0);
+        if h.0 > self.last_popped {
+            self.cancelled.insert(h.0 as u64);
+        }
     }
 }
 
@@ -117,8 +147,15 @@ impl<'a, E, C> Api<'a, E, C> {
 pub struct Kernel<E, C> {
     nodes: Vec<Option<Box<dyn NodeObj<E, C>>>>,
     names: Vec<String>,
-    queue: BinaryHeap<Reverse<Scheduled<E>>>,
-    cancelled: HashSet<u64>,
+    queue: BinaryHeap<Scheduled<E>>,
+    /// Tombstones for cancelled-but-not-yet-popped events, keyed by sequence
+    /// number. Bounded by the number of pending cancellations: entries are
+    /// removed when the event pops, and cancels of already-fired events never
+    /// insert (see [`Kernel::cancel`]).
+    cancelled: FxHashSet<u64>,
+    /// `(time, seq)` key of the most recently popped event — the delivery
+    /// watermark. Any handle at or below it has already been consumed.
+    last_popped: u128,
     now: SimTime,
     next_seq: u64,
     events_processed: u64,
@@ -154,7 +191,8 @@ impl<E, C> Kernel<E, C> {
             nodes: Vec::new(),
             names: Vec::new(),
             queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: FxHashSet::default(),
+            last_popped: 0,
             now: SimTime::ZERO,
             next_seq: 0,
             events_processed: 0,
@@ -167,7 +205,7 @@ impl<E, C> Kernel<E, C> {
     /// registration order (experiments rely on this for readable traces).
     pub fn add_node<T: Node<E, C>>(&mut self, node: T) -> NodeId {
         let id = self.nodes.len();
-        self.names.push(node.name());
+        self.names.push(node.name().to_string());
         self.nodes.push(Some(Box::new(node)));
         id
     }
@@ -197,18 +235,18 @@ impl<E, C> Kernel<E, C> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            time: at,
-            seq,
-            dst,
-            ev,
-        }));
-        EventHandle(seq)
+        let key = event_key(at, seq);
+        self.queue.push(Scheduled { key, dst, ev });
+        EventHandle(key)
     }
 
     /// Cancel an event scheduled via [`Kernel::post`] or [`Api::send`].
+    /// Cancelling an event that already fired is a no-op and leaves no state
+    /// behind.
     pub fn cancel(&mut self, h: EventHandle) {
-        self.cancelled.insert(h.0);
+        if h.0 > self.last_popped {
+            self.cancelled.insert(h.0 as u64);
+        }
     }
 
     /// Immutable typed access to a node (harness inspection between events).
@@ -264,14 +302,15 @@ impl<E, C> Kernel<E, C> {
     /// Deliver the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         loop {
-            let Some(Reverse(item)) = self.queue.pop() else {
+            let Some(item) = self.queue.pop() else {
                 return false;
             };
-            if self.cancelled.remove(&item.seq) {
+            self.last_popped = item.key;
+            if !self.cancelled.is_empty() && self.cancelled.remove(&item.seq()) {
                 continue;
             }
-            debug_assert!(item.time >= self.now, "event queue time went backwards");
-            self.now = item.time;
+            debug_assert!(item.time() >= self.now, "event queue time went backwards");
+            self.now = item.time();
             self.events_processed += 1;
             let mut node = self.nodes[item.dst]
                 .take()
@@ -285,6 +324,7 @@ impl<E, C> Kernel<E, C> {
                     queue: &mut self.queue,
                     next_seq: &mut self.next_seq,
                     cancelled: &mut self.cancelled,
+                    last_popped: self.last_popped,
                 };
                 node.on_event_obj(item.ev, &mut api);
             }
@@ -314,14 +354,14 @@ impl<E, C> Kernel<E, C> {
 
     /// Timestamp of the next pending (non-cancelled) event, if any.
     pub fn next_event_time(&mut self) -> Option<SimTime> {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if self.cancelled.contains(&head.seq) {
-                let seq = head.seq;
-                self.queue.pop();
-                self.cancelled.remove(&seq);
+        while let Some(head) = self.queue.peek() {
+            if !self.cancelled.is_empty() && self.cancelled.contains(&head.seq()) {
+                let item = self.queue.pop().expect("peeked head exists");
+                self.last_popped = item.key;
+                self.cancelled.remove(&item.seq());
                 continue;
             }
-            return Some(head.time);
+            return Some(head.time());
         }
         None
     }
@@ -329,6 +369,13 @@ impl<E, C> Kernel<E, C> {
     /// Number of pending events (including cancelled tombstones).
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Number of outstanding cancellation tombstones. Bounded by the number
+    /// of cancelled-but-not-yet-popped events; exposed so tests can assert
+    /// the set does not leak across long runs.
+    pub fn cancelled_backlog(&self) -> usize {
+        self.cancelled.len()
     }
 }
 
@@ -373,8 +420,8 @@ mod tests {
                 }
             }
         }
-        fn name(&self) -> String {
-            "echo".into()
+        fn name(&self) -> &str {
+            "echo"
         }
     }
 
@@ -468,6 +515,43 @@ mod tests {
         k.post(a, SimTime::from_micros(8), Ev::Ping(0));
         k.cancel(h);
         assert_eq!(k.next_event_time(), Some(SimTime::from_micros(8)));
+    }
+
+    #[test]
+    fn cancel_tombstones_stay_bounded_in_timer_heavy_run() {
+        // The classic transport idiom: arm a retransmit timer, then cancel
+        // it after it (logically) completed — i.e. cancel handles of events
+        // that already fired. The seed kernel leaked one tombstone per such
+        // cancel; the watermark makes them no-ops.
+        let (mut k, a, _) = two_node_kernel();
+        let mut fired: Vec<EventHandle> = Vec::new();
+        for round in 0..10_000u64 {
+            let h = k.post(a, SimTime::from_micros(round), Ev::Ping(0));
+            fired.push(h);
+            k.run_until(SimTime::from_micros(round));
+            // Cancel the already-fired timer (no-op) plus a handful of old ones.
+            k.cancel(h);
+            if let Some(&old) = fired.get(round as usize / 2) {
+                k.cancel(old);
+            }
+        }
+        assert_eq!(
+            k.cancelled_backlog(),
+            0,
+            "fired-event cancels must not leak"
+        );
+
+        // Live cancellations do occupy the set — but only until they pop.
+        let pending: Vec<_> = (0..100)
+            .map(|i| k.post(a, k.now() + SimDuration::from_micros(i + 1), Ev::Ping(0)))
+            .collect();
+        for h in &pending {
+            k.cancel(*h);
+        }
+        assert_eq!(k.cancelled_backlog(), 100);
+        k.run_to_completion();
+        assert_eq!(k.cancelled_backlog(), 0, "popped tombstones must be pruned");
+        assert_eq!(k.pending_events(), 0);
     }
 
     #[test]

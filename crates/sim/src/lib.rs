@@ -28,6 +28,7 @@
 //! well under a second of host time.
 
 pub mod cpu;
+pub mod fxhash;
 pub mod kernel;
 pub mod queue;
 pub mod rng;
@@ -37,6 +38,7 @@ pub mod time;
 pub mod trace;
 
 pub use cpu::CpuPool;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kernel::{Api, EventHandle, Kernel, Node, NodeId};
 pub use queue::DropTailQueue;
 pub use rng::Rng;

@@ -132,7 +132,8 @@ const SUB_BUCKETS: u64 = 64;
 const SUB_BITS: u32 = 6;
 /// Bucket count covering values up to 2^40 ns (~18 minutes) with 64
 /// sub-buckets each, plus the linear region below 64.
-const N_BUCKETS: usize = ((40 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize + SUB_BUCKETS as usize;
+const N_BUCKETS: usize =
+    ((40 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize + SUB_BUCKETS as usize;
 
 /// Log-bucketed histogram for non-negative integer samples (latencies in ns).
 #[derive(Clone)]

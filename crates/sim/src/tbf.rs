@@ -189,7 +189,10 @@ mod tests {
         let t1 = b.acquire(now, 1500);
         let gap = t1.since(now).as_secs_f64();
         let expect = 1500.0 * 8.0 / 1e8;
-        assert!((gap - expect).abs() / expect < 0.05, "gap {gap} expect {expect}");
+        assert!(
+            (gap - expect).abs() / expect < 0.05,
+            "gap {gap} expect {expect}"
+        );
     }
 
     #[test]

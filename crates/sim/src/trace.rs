@@ -55,7 +55,13 @@ impl TraceRing {
     }
 
     /// Record an event (drops the oldest record when full).
-    pub fn push(&mut self, at: SimTime, who: impl Into<String>, kind: &'static str, vals: [u64; 3]) {
+    pub fn push(
+        &mut self,
+        at: SimTime,
+        who: impl Into<String>,
+        kind: &'static str,
+        vals: [u64; 3],
+    ) {
         if !self.enabled {
             return;
         }

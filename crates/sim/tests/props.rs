@@ -1,20 +1,24 @@
-//! Property-based tests for the simulation engine's core invariants.
-
-use proptest::prelude::*;
+//! Randomized-input tests for the simulation engine's core invariants,
+//! driven by the engine's own seeded [`fastrak_sim::Rng`] so every run
+//! checks the identical case list.
 
 use fastrak_sim::cpu::CpuPool;
 use fastrak_sim::stats::Histogram;
 use fastrak_sim::tbf::TokenBucket;
 use fastrak_sim::time::{SimDuration, SimTime};
+use fastrak_sim::Rng;
 
-proptest! {
-    /// The histogram's quantile estimate is within the documented ~1.6%
-    /// relative error of the exact order statistic.
-    #[test]
-    fn histogram_quantile_error_bounded(
-        mut samples in proptest::collection::vec(1u64..1_000_000_000, 10..500),
-        q in 0.01f64..0.999,
-    ) {
+const CASES: usize = 64;
+
+/// The histogram's quantile estimate is within the documented ~1.6%
+/// relative error of the exact order statistic.
+#[test]
+fn histogram_quantile_error_bounded() {
+    let mut r = Rng::new(0x4157);
+    for _ in 0..CASES {
+        let n = r.range(10, 499) as usize;
+        let mut samples: Vec<u64> = (0..n).map(|_| r.range(1, 999_999_999)).collect();
+        let q = 0.01 + r.f64() * (0.999 - 0.01);
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(s);
@@ -27,41 +31,46 @@ proptest! {
         // slack at distribution edges.
         let lo = samples[idx.saturating_sub(1)] as f64;
         let hi = samples[(idx + 1).min(samples.len() - 1)] as f64;
-        let ok = (est - exact).abs() / exact < 0.017
-            || (est >= lo * 0.984 && est <= hi * 1.017);
-        prop_assert!(ok, "q={q} exact={exact} est={est}");
+        let ok = (est - exact).abs() / exact < 0.017 || (est >= lo * 0.984 && est <= hi * 1.017);
+        assert!(ok, "q={q} exact={exact} est={est}");
     }
+}
 
-    /// Histogram mean is exact; min/max are exact.
-    #[test]
-    fn histogram_moments_exact(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// Histogram mean is exact; min/max are exact.
+#[test]
+fn histogram_moments_exact() {
+    let mut r = Rng::new(0x404E);
+    for _ in 0..CASES {
+        let n = r.range(1, 199) as usize;
+        let samples: Vec<u64> = (0..n).map(|_| r.below(1_000_000)).collect();
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(s);
         }
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
-        prop_assert!((h.mean() - mean).abs() < 1e-6);
-        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
-        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        assert!((h.mean() - mean).abs() < 1e-6);
+        assert_eq!(h.min(), *samples.iter().min().unwrap());
+        assert_eq!(h.max(), *samples.iter().max().unwrap());
     }
+}
 
-    /// A token bucket never releases more than burst + rate*time bytes over
-    /// any window starting from a full bucket.
-    #[test]
-    fn token_bucket_rate_conservation(
-        rate_mbps in 1u64..10_000,
-        burst_kb in 1u64..1_000,
-        sizes in proptest::collection::vec(64u64..9_000, 1..200),
-    ) {
-        let rate = rate_mbps * 1_000_000;
-        let burst = burst_kb * 1_000;
+/// A token bucket never releases more than burst + rate*time bytes over
+/// any window starting from a full bucket.
+#[test]
+fn token_bucket_rate_conservation() {
+    let mut r = Rng::new(0x7B4F);
+    for _ in 0..CASES {
+        let rate = r.range(1, 9_999) * 1_000_000;
+        let burst = r.range(1, 999) * 1_000;
+        let n = r.range(1, 199) as usize;
+        let sizes: Vec<u64> = (0..n).map(|_| r.range(64, 8_999)).collect();
         let mut tb = TokenBucket::new(rate, burst);
         let mut t = SimTime::ZERO;
         let mut total = 0u64;
         let mut last = SimTime::ZERO;
         for &sz in &sizes {
             let at = tb.acquire(t, sz);
-            prop_assert!(at >= last, "FIFO violated");
+            assert!(at >= last, "FIFO violated");
             last = at;
             t = at; // offer the next packet when this one departs
             total += sz;
@@ -69,16 +78,21 @@ proptest! {
         // Conservation: everything released by `last` fits in burst + rate*T.
         let elapsed = last.as_secs_f64();
         let bound = burst as f64 + rate as f64 / 8.0 * elapsed + 9_000.0;
-        prop_assert!((total as f64) <= bound, "released {total} > bound {bound}");
+        assert!((total as f64) <= bound, "released {total} > bound {bound}");
     }
+}
 
-    /// CPU pool: completions never overlap more than n_cpus at once, and
-    /// total busy time equals the sum of submitted costs.
-    #[test]
-    fn cpu_pool_work_conservation(
-        n_cpus in 1usize..8,
-        jobs in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..100),
-    ) {
+/// CPU pool: completions never overlap more than n_cpus at once, and
+/// total busy time equals the sum of submitted costs.
+#[test]
+fn cpu_pool_work_conservation() {
+    let mut r = Rng::new(0xC9F0);
+    for _ in 0..CASES {
+        let n_cpus = r.range(1, 7) as usize;
+        let n_jobs = r.range(1, 99) as usize;
+        let jobs: Vec<(u64, u64)> = (0..n_jobs)
+            .map(|_| (r.below(10_000), r.range(1, 4_999)))
+            .collect();
         let mut pool = CpuPool::new(n_cpus);
         let mut total = SimDuration::ZERO;
         let mut intervals = Vec::new();
@@ -86,18 +100,18 @@ proptest! {
             let now = SimTime::from_micros(at);
             let cost = SimDuration::from_micros(cost);
             let done = pool.submit(now, cost);
-            prop_assert!(done >= now + cost, "work cannot finish early");
+            assert!(done >= now + cost, "work cannot finish early");
             intervals.push((done.checked_sub(cost).unwrap(), done));
             total += cost;
         }
-        prop_assert_eq!(pool.total_busy(), total);
+        assert_eq!(pool.total_busy(), total);
         // At any completion instant, at most n_cpus jobs can be running.
         for &(s, _) in &intervals {
             let overlapping = intervals
                 .iter()
                 .filter(|&&(s2, e2)| s2 <= s && s < e2)
                 .count();
-            prop_assert!(overlapping <= n_cpus, "{overlapping} > {n_cpus} CPUs busy");
+            assert!(overlapping <= n_cpus, "{overlapping} > {n_cpus} CPUs busy");
         }
     }
 }

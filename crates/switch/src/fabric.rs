@@ -8,13 +8,12 @@
 //! evaluation is single-rack, so the fabric only matters for the multi-rack
 //! controller tests.
 
-use std::collections::HashMap;
-
 use fastrak_net::addr::Ip;
 use fastrak_net::event::{Event, NetCtx};
 use fastrak_net::packet::{Encap, Packet};
 use fastrak_sim::kernel::{Api, Node, NodeId};
 use fastrak_sim::time::SimDuration;
+use fastrak_sim::FxHashMap;
 
 /// Fabric statistics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -31,10 +30,10 @@ pub struct Fabric {
     /// Transit latency across the core.
     pub latency: SimDuration,
     /// Provider IP (ToR or server) → (node, ingress port).
-    routes: HashMap<Ip, (NodeId, usize)>,
+    routes: FxHashMap<Ip, (NodeId, usize)>,
     /// Rack prefix routes: (octet0, octet1, octet2) → (node, port); lets a
     /// /24 of servers route to their ToR without per-server entries.
-    prefix_routes: HashMap<(u8, u8, u8), (NodeId, usize)>,
+    prefix_routes: FxHashMap<(u8, u8, u8), (NodeId, usize)>,
     /// Public counters.
     pub stats: FabricStats,
 }
@@ -45,8 +44,8 @@ impl Fabric {
         Fabric {
             name: name.into(),
             latency,
-            routes: HashMap::new(),
-            prefix_routes: HashMap::new(),
+            routes: FxHashMap::default(),
+            prefix_routes: FxHashMap::default(),
             stats: FabricStats::default(),
         }
     }
@@ -99,7 +98,7 @@ impl Node<Event, NetCtx> for Fabric {
         }
     }
 
-    fn name(&self) -> String {
-        self.name.clone()
+    fn name(&self) -> &str {
+        &self.name
     }
 }

@@ -17,8 +17,6 @@
 //!   budget is exhausted — the central constraint FasTrak's decision engine
 //!   manages.
 
-use std::collections::HashMap;
-
 use fastrak_net::addr::{Ip, TenantId, VlanId};
 use fastrak_net::ctrl::{CtrlReply, CtrlRequest, Dir, TorRule, TorStatEntry};
 use fastrak_net::event::{CtlMsg, Event, NetCtx};
@@ -30,6 +28,7 @@ use fastrak_net::tunnel::TunnelMapping;
 use fastrak_sim::kernel::{Api, Node, NodeId};
 use fastrak_sim::tbf::TokenBucket;
 use fastrak_sim::time::{serialization_delay, SimDuration, SimTime};
+use fastrak_sim::FxHashMap;
 
 /// Action attached to a VRF fast-path rule.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,25 +119,25 @@ pub struct Tor {
     wires: Vec<Option<PortWire>>,
     port_free: Vec<SimTime>,
     /// Per-tenant VRF tables (share the global fast-path budget).
-    vrfs: HashMap<TenantId, WildcardTable<VrfAction>>,
+    vrfs: FxHashMap<TenantId, WildcardTable<VrfAction>>,
     /// VLAN → tenant mapping (VRF selection).
-    vlan_tenant: HashMap<u16, TenantId>,
+    vlan_tenant: FxHashMap<u16, TenantId>,
     /// Locally attached hardware destinations: (tenant, vm ip) → port+vlan.
-    hw_dests: HashMap<(TenantId, Ip), HwDest>,
+    hw_dests: FxHashMap<(TenantId, Ip), HwDest>,
     /// Software-side destinations: provider server IP → port; used for
     /// VXLAN outers and as the L2 table for untunneled tenant traffic.
-    ip_ports: HashMap<Ip, usize>,
+    ip_ports: FxHashMap<Ip, usize>,
     /// L2 table for untunneled tenant traffic (baseline configs).
-    l2_ports: HashMap<(TenantId, Ip), usize>,
+    l2_ports: FxHashMap<(TenantId, Ip), usize>,
     /// Default route to the fabric core (port index), for remote ToRs.
     fabric_port: Option<usize>,
     /// Hardware rate limiters: (tenant, vm ip, dir) → bucket.
-    hw_rates: HashMap<(TenantId, Ip, u8), TokenBucket>,
+    hw_rates: FxHashMap<(TenantId, Ip, u8), TokenBucket>,
     /// GRE tunnel mappings held in the VRFs (paper §4.1.3): destination
     /// tenant VM → provider location. Counts against fast-path memory.
-    tunnel_dir: HashMap<(TenantId, Ip), TunnelMapping>,
+    tunnel_dir: FxHashMap<(TenantId, Ip), TunnelMapping>,
     /// Per-QoS-class frame counters.
-    pub qos_counters: HashMap<u8, u64>,
+    pub qos_counters: FxHashMap<u8, u64>,
     fastpath_used: usize,
     /// Public counters.
     pub stats: TorStats,
@@ -150,15 +149,15 @@ impl Tor {
         Tor {
             wires: vec![None; cfg.n_ports],
             port_free: vec![SimTime::ZERO; cfg.n_ports],
-            vrfs: HashMap::new(),
-            vlan_tenant: HashMap::new(),
-            hw_dests: HashMap::new(),
-            ip_ports: HashMap::new(),
-            l2_ports: HashMap::new(),
+            vrfs: FxHashMap::default(),
+            vlan_tenant: FxHashMap::default(),
+            hw_dests: FxHashMap::default(),
+            ip_ports: FxHashMap::default(),
+            l2_ports: FxHashMap::default(),
             fabric_port: None,
-            hw_rates: HashMap::new(),
-            tunnel_dir: HashMap::new(),
-            qos_counters: HashMap::new(),
+            hw_rates: FxHashMap::default(),
+            tunnel_dir: FxHashMap::default(),
+            qos_counters: FxHashMap::default(),
             fastpath_used: 0,
             stats: TorStats::default(),
             cfg,
@@ -308,7 +307,14 @@ impl Tor {
             .insert((tenant, vm_ip, d), TokenBucket::new(bps.max(1), burst));
     }
 
-    fn hw_shape(&mut self, tenant: TenantId, vm_ip: Ip, dir: Dir, now: SimTime, bytes: u64) -> SimTime {
+    fn hw_shape(
+        &mut self,
+        tenant: TenantId,
+        vm_ip: Ip,
+        dir: Dir,
+        now: SimTime,
+        bytes: u64,
+    ) -> SimTime {
         let d = match dir {
             Dir::Egress => 0,
             Dir::Ingress => 1,
@@ -321,7 +327,13 @@ impl Tor {
 
     // ------------------------------------------------------- forwarding --
 
-    fn send_out(&mut self, api: &mut Api<'_, Event, NetCtx>, port: usize, at: SimTime, pkt: Packet) {
+    fn send_out(
+        &mut self,
+        api: &mut Api<'_, Event, NetCtx>,
+        port: usize,
+        at: SimTime,
+        pkt: Packet,
+    ) {
         let Some(wire) = self.wires[port] else {
             self.stats.fwd_drops += 1;
             return;
@@ -404,11 +416,7 @@ impl Tor {
                     dst: m.tor_ip,
                 });
                 self.stats.gre_encaps += 1;
-                let port = self
-                    .ip_ports
-                    .get(&m.tor_ip)
-                    .copied()
-                    .or(self.fabric_port);
+                let port = self.ip_ports.get(&m.tor_ip).copied().or(self.fabric_port);
                 match port {
                     Some(p) => self.send_out(api, p, at, pkt),
                     None => self.stats.fwd_drops += 1,
@@ -529,7 +537,11 @@ impl Tor {
                 } else {
                     CtrlReply::Ack { xid }
                 };
-                api.send(from, CTRL_LATENCY, Event::Ctl(CtlMsg::new(api.self_id, reply)));
+                api.send(
+                    from,
+                    CTRL_LATENCY,
+                    Event::Ctl(CtlMsg::new(api.self_id, reply)),
+                );
             }
             CtrlRequest::RemoveTorRules { rules } => {
                 for (tenant, spec) in &rules {
@@ -573,7 +585,7 @@ impl Node<Event, NetCtx> for Tor {
         }
     }
 
-    fn name(&self) -> String {
-        self.cfg.name.clone()
+    fn name(&self) -> &str {
+        &self.cfg.name
     }
 }

@@ -3,7 +3,8 @@
 //! transmissions fairly (round-robin) across connections — the guest-kernel
 //! role in the simulated VM.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use fastrak_sim::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
 
 use fastrak_net::flow::FlowKey;
 use fastrak_net::headers::tcp_flags;
@@ -42,8 +43,8 @@ pub enum SockEvent {
 pub struct TcpStack {
     cfg: TcpConfig,
     conns: Vec<TcpConn>,
-    by_flow: HashMap<FlowKey, usize>,
-    listeners: HashSet<u16>,
+    by_flow: FxHashMap<FlowKey, usize>,
+    listeners: FxHashSet<u16>,
     events: VecDeque<SockEvent>,
     rr_cursor: usize,
 }
@@ -54,8 +55,8 @@ impl TcpStack {
         TcpStack {
             cfg,
             conns: Vec::new(),
-            by_flow: HashMap::new(),
-            listeners: HashSet::new(),
+            by_flow: FxHashMap::default(),
+            listeners: FxHashSet::default(),
             events: VecDeque::new(),
             rr_cursor: 0,
         }
@@ -144,7 +145,8 @@ impl TcpStack {
         };
         let out = self.conns[idx].on_segment(now, seq, ack, flags, pkt.payload as u64);
         if out.connected {
-            self.events.push_back(SockEvent::Connected(ConnId(idx as u32)));
+            self.events
+                .push_back(SockEvent::Connected(ConnId(idx as u32)));
         }
         if out.delivered > 0 {
             self.events.push_back(SockEvent::Delivered {

@@ -252,7 +252,9 @@ impl TcpConn {
 
     /// Room left in the send buffer.
     pub fn send_buf_space(&self) -> u64 {
-        self.cfg.send_buf.saturating_sub(self.queued_bytes + self.flight())
+        self.cfg
+            .send_buf
+            .saturating_sub(self.queued_bytes + self.flight())
     }
 
     /// Queue an application write of `bytes` (its boundary is preserved:
@@ -289,7 +291,8 @@ impl TcpConn {
                     return; // stale timer
                 }
                 self.rto_deadline = None;
-                if self.flight() == 0 && !matches!(self.state, TcpState::SynSent | TcpState::SynRcvd)
+                if self.flight() == 0
+                    && !matches!(self.state, TcpState::SynSent | TcpState::SynRcvd)
                 {
                     return;
                 }
@@ -328,7 +331,14 @@ impl TcpConn {
     }
 
     /// Process an incoming segment. Returns what was delivered upward.
-    pub fn on_segment(&mut self, now: SimTime, seq: u64, ack: u64, flags: u8, len: u64) -> RxOutcome {
+    pub fn on_segment(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        ack: u64,
+        flags: u8,
+        len: u64,
+    ) -> RxOutcome {
         let mut out = RxOutcome::default();
         // --- handshake transitions ---
         match self.state {
@@ -414,8 +424,7 @@ impl TcpConn {
                     self.stats.fast_retransmits += 1;
                     self.in_recovery = true;
                     self.recover = self.snd_nxt;
-                    self.ssthresh =
-                        (self.flight() as f64 / 2.0).max((2 * self.cfg.mss) as f64);
+                    self.ssthresh = (self.flight() as f64 / 2.0).max((2 * self.cfg.mss) as f64);
                     self.cwnd = self.ssthresh + (3 * self.cfg.mss) as f64;
                     let len = ((self.snd_nxt - self.snd_una).min(self.cfg.mss as u64)) as u32;
                     self.rtx_q.push_back((self.snd_una, len));
@@ -565,7 +574,9 @@ impl TcpConn {
             let budget = wnd.saturating_sub(self.flight());
             let chunk = front.min(seg_limit as u64);
             if budget >= chunk || self.flight() == 0 {
-                let take = chunk.min(budget.max(self.cfg.mss as u64)).min(seg_limit as u64);
+                let take = chunk
+                    .min(budget.max(self.cfg.mss as u64))
+                    .min(seg_limit as u64);
                 if take > 0 {
                     if take == front {
                         self.write_q.pop_front();
@@ -758,7 +769,11 @@ mod tests {
         while let Some(p) = c.poll_transmit(t(100), 1448) {
             segs.push(p);
         }
-        assert!(segs.len() >= 5, "need at least 5 segments, got {}", segs.len());
+        assert!(
+            segs.len() >= 5,
+            "need at least 5 segments, got {}",
+            segs.len()
+        );
         // Drop the first segment; deliver the rest -> dup acks.
         let mut now = 200;
         for seg in segs.iter().skip(1) {
@@ -890,8 +905,10 @@ mod tests {
 
     #[test]
     fn effective_window_clamped_by_max_cwnd() {
-        let mut cfg = TcpConfig::default();
-        cfg.max_cwnd = 20_000;
+        let cfg = TcpConfig {
+            max_cwnd: 20_000,
+            ..Default::default()
+        };
         let mut c = TcpConn::client(flow(), cfg);
         // Drive cwnd up artificially via the public API: effective window
         // can never exceed max_cwnd regardless of cwnd.
@@ -931,8 +948,10 @@ mod tests {
 
     #[test]
     fn send_buffer_rejects_overflow() {
-        let mut cfg = TcpConfig::default();
-        cfg.send_buf = 1000;
+        let cfg = TcpConfig {
+            send_buf: 1000,
+            ..Default::default()
+        };
         let mut c = TcpConn::client(flow(), cfg);
         assert!(c.app_send(800));
         assert!(!c.app_send(300));

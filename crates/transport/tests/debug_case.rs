@@ -6,14 +6,20 @@ use fastrak_transport::tcp::{TcpConfig, TcpConn, TcpTimer};
 use std::collections::VecDeque;
 
 fn flow() -> FlowKey {
-    FlowKey { tenant: TenantId(1), src_ip: Ip::new(10,0,0,1), dst_ip: Ip::new(10,0,0,2),
-        proto: Proto::Tcp, src_port: 40_000, dst_port: 5001 }
+    FlowKey {
+        tenant: TenantId(1),
+        src_ip: Ip::new(10, 0, 0, 1),
+        dst_ip: Ip::new(10, 0, 0, 2),
+        proto: Proto::Tcp,
+        src_port: 40_000,
+        dst_port: 5001,
+    }
 }
 
 #[test]
 fn replay_shrunk_case() {
-    let writes: Vec<u16> = vec![1,1,1,1,1,1,1,1,1,1,1,1,1,247,979,1666];
-    let drops: Vec<u8> = vec![19,17,16,13];
+    let writes: Vec<u16> = vec![1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 247, 979, 1666];
+    let drops: Vec<u8> = vec![19, 17, 16, 13];
     let swaps: Vec<u8> = vec![4];
     let cfg = TcpConfig::default();
     let mut a = TcpConn::client(flow(), cfg);
@@ -26,34 +32,66 @@ fn replay_shrunk_case() {
     let ack = a.poll_transmit(now, 65_000).unwrap();
     b.on_segment(now, ack.seq, ack.ack, ack.flags, 0);
     let total: u64 = writes.iter().map(|&w| w as u64 + 1).sum();
-    for w in &writes { assert!(a.app_send(*w as u64 + 1)); }
+    for w in &writes {
+        assert!(a.app_send(*w as u64 + 1));
+    }
     let mut a2b: VecDeque<_> = VecDeque::new();
     let mut b2a: VecDeque<_> = VecDeque::new();
     let (mut seg_count, mut deliver_count) = (0u64, 0u64);
     let step = SimDuration::from_micros(50);
     for round in 0..400_000 {
-        now = now + step;
+        now += step;
         while let Some(p) = a.poll_transmit(now, 65_000) {
             seg_count += 1;
             let dropped = drops.iter().any(|&d| d as u64 == seg_count % 37);
-            if round < 400 { println!("r{round} a->b seq={} len={} rtx={} dropped={dropped}", p.seq, p.len, p.is_rtx); }
-            if !dropped { a2b.push_back(p); }
-        }
-        while let Some(p) = b.poll_transmit(now, 65_000) { b2a.push_back(p); }
-        if a2b.len() >= 2 && swaps.iter().any(|&s| s as u64 == deliver_count % 17) { a2b.swap(0, 1); }
-        if let Some(p) = a2b.pop_front() { deliver_count += 1; b.on_segment(now, p.seq, p.ack, p.flags, p.len as u64); }
-        if let Some(p) = b2a.pop_front() { a.on_segment(now, p.seq, p.ack, p.flags, p.len as u64); }
-        for c in [&mut a, &mut b] {
-            while let Some((t, which)) = c.next_timer() {
-                if t > now { break; }
-                c.on_timer(now, which);
-                if which == TcpTimer::Rto { break; }
+            if round < 400 {
+                println!(
+                    "r{round} a->b seq={} len={} rtx={} dropped={dropped}",
+                    p.seq, p.len, p.is_rtx
+                );
+            }
+            if !dropped {
+                a2b.push_back(p);
             }
         }
-        if b.stats.bytes_delivered >= total && a2b.is_empty() && b2a.is_empty() && a.flight() == 0 { break; }
+        while let Some(p) = b.poll_transmit(now, 65_000) {
+            b2a.push_back(p);
+        }
+        if a2b.len() >= 2 && swaps.iter().any(|&s| s as u64 == deliver_count % 17) {
+            a2b.swap(0, 1);
+        }
+        if let Some(p) = a2b.pop_front() {
+            deliver_count += 1;
+            b.on_segment(now, p.seq, p.ack, p.flags, p.len as u64);
+        }
+        if let Some(p) = b2a.pop_front() {
+            a.on_segment(now, p.seq, p.ack, p.flags, p.len as u64);
+        }
+        for c in [&mut a, &mut b] {
+            while let Some((t, which)) = c.next_timer() {
+                if t > now {
+                    break;
+                }
+                c.on_timer(now, which);
+                if which == TcpTimer::Rto {
+                    break;
+                }
+            }
+        }
+        if b.stats.bytes_delivered >= total && a2b.is_empty() && b2a.is_empty() && a.flight() == 0 {
+            break;
+        }
     }
-    println!("delivered={} total={} | snd_una={} snd_nxt={} flight={} unsent={} tmo={} frtx={}",
-        b.stats.bytes_delivered, total, a.stats.bytes_acked, a.flight()+a.stats.bytes_acked, a.flight(), a.unsent(),
-        a.stats.timeouts, a.stats.fast_retransmits);
+    println!(
+        "delivered={} total={} | snd_una={} snd_nxt={} flight={} unsent={} tmo={} frtx={}",
+        b.stats.bytes_delivered,
+        total,
+        a.stats.bytes_acked,
+        a.flight() + a.stats.bytes_acked,
+        a.flight(),
+        a.unsent(),
+        a.stats.timeouts,
+        a.stats.fast_retransmits
+    );
     assert_eq!(b.stats.bytes_delivered, total);
 }

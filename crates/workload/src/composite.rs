@@ -50,7 +50,11 @@ impl Composite {
         self.apps.is_empty()
     }
 
-    fn dispatch(&mut self, api: &mut GuestApi<'_>, mut f: impl FnMut(&mut dyn GuestApp, &mut GuestApi<'_>)) {
+    fn dispatch(
+        &mut self,
+        api: &mut GuestApi<'_>,
+        mut f: impl FnMut(&mut dyn GuestApp, &mut GuestApi<'_>),
+    ) {
         for (idx, app) in self.apps.iter_mut().enumerate() {
             let before = api.timer_count();
             f(app.as_mut(), api);

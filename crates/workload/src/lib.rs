@@ -78,7 +78,7 @@ mod tests {
 
     #[test]
     fn small_writes_much_slower_than_large() {
-        let mut run = |size: u64| {
+        let run = |size: u64| {
             let mut bed = two_server_bed(false);
             let t = TenantId(1);
             let sink = bed.add_vm(
@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn rr_closed_loop_latency_sane_and_sriov_faster() {
-        let mut run = |path: PathTag| {
+        let run = |path: PathTag| {
             let mut bed = two_server_bed(false);
             let t = TenantId(1);
             let srv = bed.add_vm(
@@ -156,7 +156,10 @@ mod tests {
             hw_us < 0.75 * vif_us,
             "SR-IOV RTT {hw_us:.1}us must beat VIF {vif_us:.1}us"
         );
-        assert!(vif_us > 10.0 && vif_us < 500.0, "VIF RTT {vif_us:.1}us sane");
+        assert!(
+            vif_us > 10.0 && vif_us < 500.0,
+            "VIF RTT {vif_us:.1}us sane"
+        );
     }
 
     #[test]
@@ -195,11 +198,7 @@ mod tests {
         );
         let mut ft = FileTransfer::paper_default(Ip::tenant_vm(2), 22, 50_000);
         ft.total_bytes = 64 * 1024 * 200; // 13 MB at 500 Mbps ≈ 0.21 s
-        let src = bed.add_vm(
-            0,
-            VmSpec::large("scp", t, Ip::tenant_vm(1)),
-            Box::new(ft),
-        );
+        let src = bed.add_vm(0, VmSpec::large("scp", t, Ip::tenant_vm(1)), Box::new(ft));
         bed.start();
         bed.run_until(SimTime::from_secs(2));
         let app = bed.app::<FileTransfer>(src);

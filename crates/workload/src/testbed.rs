@@ -207,9 +207,7 @@ impl Testbed {
     /// Force every flow of a VM onto one path via its flow placer.
     pub fn force_path(&mut self, v: VmRef, path: PathTag) {
         let srv = self.kernel.node_mut::<Server>(self.servers[v.server]);
-        srv.vm_mut(v.vm)
-            .placer
-            .install_rule(FlowSpec::ANY, 1, path);
+        srv.vm_mut(v.vm).placer.install_rule(FlowSpec::ANY, 1, path);
     }
 
     /// Configure a software (VIF) rate limit on a VM.

@@ -48,7 +48,8 @@ fn build() -> (Testbed, Vec<VmRef>) {
     }
     for c in 0..2u16 {
         let ip = Ip::tenant_vm(10 + c);
-        let mut cfg = MemslapConfig::paper(vec![Ip::tenant_vm(1), Ip::tenant_vm(2)], Some(REQUESTS));
+        let mut cfg =
+            MemslapConfig::paper(vec![Ip::tenant_vm(1), Ip::tenant_vm(2)], Some(REQUESTS));
         cfg.src_port_base = 43_000 + c * 64;
         clients.push(bed.add_vm(
             1 + (c as usize),

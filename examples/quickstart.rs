@@ -10,9 +10,7 @@ use fastrak::{attach, FasTrakConfig};
 use fastrak_host::vm::VmSpec;
 use fastrak_net::addr::{Ip, TenantId};
 use fastrak_sim::time::SimTime;
-use fastrak_workload::{
-    memcached_server, MemslapClient, MemslapConfig, Testbed, TestbedConfig,
-};
+use fastrak_workload::{memcached_server, MemslapClient, MemslapConfig, Testbed, TestbedConfig};
 
 fn main() {
     let tenant = TenantId(1);

@@ -59,7 +59,11 @@ fn main() {
     bed.run_until(SimTime::from_secs(3));
     snapshot(&bed, "t=3s (offloaded)");
     println!("offloaded aggregates:");
-    let mut aggs: Vec<String> = ft.offloaded(&bed).iter().map(|a| format!("  {a:?}")).collect();
+    let mut aggs: Vec<String> = ft
+        .offloaded(&bed)
+        .iter()
+        .map(|a| format!("  {a:?}"))
+        .collect();
     aggs.sort();
     aggs.iter().for_each(|a| println!("{a}"));
 

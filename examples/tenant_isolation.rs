@@ -102,7 +102,10 @@ fn main() {
     let t2_bps = bed.app::<StreamSink>(sink2).goodput_bps(now);
     println!("tenant1 memcached transactions: {t1_done}");
     println!("tenant2 bulk goodput:           {:.2} Gbps", t2_bps / 1e9);
-    assert!(t1_done > 2_000 && t2_bps > 1e8, "both tenants make progress");
+    assert!(
+        t1_done > 2_000 && t2_bps > 1e8,
+        "both tenants make progress"
+    );
 
     // 2. Malicious bypass: force tenant 2's stream onto the SR-IOV path
     //    WITHOUT any ToR authorization for tenant 2. Default-deny drops it.

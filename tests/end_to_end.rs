@@ -2,7 +2,7 @@
 //! formats → TCP → servers/vswitch/NIC → ToR → controllers) exercised
 //! end to end, pinning the paper's qualitative claims.
 
-use fastrak::{attach, DeConfig, FasTrakConfig, RuleManager, Timing, VmLimit};
+use fastrak::{attach, FasTrakConfig, RuleManager, Timing, VmLimit};
 use fastrak_host::vm::VmSpec;
 use fastrak_net::addr::{Ip, TenantId};
 use fastrak_net::ctrl::Dir;
@@ -230,7 +230,10 @@ fn tenants_with_overlapping_ips_stay_isolated() {
     let c1 = bed.add_vm(
         1,
         VmSpec::large("t1b", T, shared2),
-        Box::new(MemslapClient::new(MemslapConfig::paper(vec![shared1], None))),
+        Box::new(MemslapClient::new(MemslapConfig::paper(
+            vec![shared1],
+            None,
+        ))),
     );
     // Tenant 2 pair with the same IPs but a different service port.
     bed.add_vm(
@@ -241,7 +244,9 @@ fn tenants_with_overlapping_ips_stay_isolated() {
     bed.add_vm(
         1,
         VmSpec::large("t2b", t2, shared2),
-        Box::new(StreamSender::new(StreamConfig::netperf(shared1, 7000, 1448))),
+        Box::new(StreamSender::new(StreamConfig::netperf(
+            shared1, 7000, 1448,
+        ))),
     );
     bed.start();
     bed.run_until(SimTime::from_secs(1));
@@ -291,7 +296,14 @@ fn vm_migration_moves_vm_and_traffic_follows() {
         let vlan = fastrak_workload::tenant_vlan(T);
         let tor = bed.tor_mut();
         tor.add_l2_route(T, mc_ip, 2 * 2);
-        tor.add_hw_dest(T, mc_ip, HwDest { port: 2 * 2 + 1, vlan });
+        tor.add_hw_dest(
+            T,
+            mc_ip,
+            HwDest {
+                port: 2 * 2 + 1,
+                vlan,
+            },
+        );
         for i in 0..3 {
             bed.server_mut(i).add_tunnel_route(
                 T,
