@@ -1,0 +1,133 @@
+//! Perf-regression gate for CI.
+//!
+//! Compares a fresh bench run (the JSON-lines file written via
+//! `FASTRAK_BENCH_JSON`) against the committed `BENCH_baseline.json` and
+//! fails (exit 1) only when a benchmark regressed by more than the allowed
+//! ratio — loose by design (default 2x): CI runners are noisy shared
+//! machines, and the gate exists to catch order-of-magnitude hot-path
+//! regressions, not percent-level drift. Benches present on only one side
+//! (new or retired) are reported but never fail the gate.
+//!
+//! Usage:
+//!   perf_gate --baseline BENCH_baseline.json --current bench.json \
+//!             [--max-ratio 2.0]
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use fastrak_bench::json::{self, Value};
+
+/// `(suite, bench) -> ns_per_iter`.
+type Results = BTreeMap<(String, String), f64>;
+
+fn record(map: &mut Results, v: &Value) {
+    if let (Some(suite), Some(bench), Some(ns)) = (
+        v.get("suite").and_then(Value::as_str),
+        v.get("bench").and_then(Value::as_str),
+        v.get("ns_per_iter").and_then(Value::as_num),
+    ) {
+        // Keep the latest entry when a bench appears twice (append-mode
+        // files accumulate across runs).
+        map.insert((suite.to_string(), bench.to_string()), ns);
+    }
+}
+
+/// Baseline format: one JSON document with a `benches` array.
+fn load_baseline(path: &str) -> Result<Results, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let mut out = Results::new();
+    for entry in doc
+        .get("benches")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: no `benches` array"))?
+    {
+        record(&mut out, entry);
+    }
+    Ok(out)
+}
+
+/// Current-run format: JSON lines, one flat object per line.
+fn load_current(path: &str) -> Result<Results, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let mut out = Results::new();
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("parse {path}:{}: {e}", n + 1))?;
+        record(&mut out, &v);
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = "BENCH_baseline.json".to_string();
+    let mut current_path = String::new();
+    let mut max_ratio = 2.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = grab("--baseline"),
+            "--current" => current_path = grab("--current"),
+            "--max-ratio" => max_ratio = grab("--max-ratio").parse().expect("numeric --max-ratio"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if current_path.is_empty() {
+        eprintln!("perf_gate: --current <bench.json> is required");
+        return ExitCode::FAILURE;
+    }
+
+    let (baseline, current) = match (load_baseline(&baseline_path), load_current(&current_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("perf_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut regressed = 0usize;
+    println!(
+        "{:<44} {:>12} {:>12} {:>7}",
+        "bench", "baseline", "current", "ratio"
+    );
+    for ((suite, bench), &cur) in &current {
+        let name = format!("{suite}/{bench}");
+        match baseline.get(&(suite.clone(), bench.clone())) {
+            Some(&base) if base > 0.0 => {
+                let ratio = cur / base;
+                let verdict = if ratio > max_ratio {
+                    regressed += 1;
+                    "REGRESSED"
+                } else {
+                    ""
+                };
+                println!("{name:<44} {base:>10.1}ns {cur:>10.1}ns {ratio:>6.2}x {verdict}");
+            }
+            _ => println!("{name:<44} {:>12} {cur:>10.1}ns      - (new)", "-"),
+        }
+    }
+    for key in baseline.keys() {
+        if !current.contains_key(key) {
+            println!("{:<44} (not run this time)", format!("{}/{}", key.0, key.1));
+        }
+    }
+
+    if regressed > 0 {
+        eprintln!("perf_gate: {regressed} benchmark(s) regressed beyond {max_ratio}x");
+        ExitCode::FAILURE
+    } else {
+        println!("perf_gate: OK (threshold {max_ratio}x)");
+        ExitCode::SUCCESS
+    }
+}

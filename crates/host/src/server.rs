@@ -475,6 +475,13 @@ impl Server {
         );
     }
 
+    // Timer audit note: this uses a *soft* cancel — stale timers still fire
+    // and are discarded by generation (`tcp_timer_gen`) in the handler. The
+    // kernel now offers O(1) `Api::cancel` via `EventHandle`, which would
+    // keep stale timers out of the queue entirely; switching would change
+    // the delivered event stream (and thus every seeded artifact), so it is
+    // deliberately left as-is. New timer-heavy nodes should prefer
+    // `Api::cancel`.
     fn rearm_tcp_timer(&mut self, api: &mut Api<'_, Event, NetCtx>, vm_idx: usize) {
         let vm = &mut self.vms[vm_idx];
         let next = vm.stack.next_timer();

@@ -10,32 +10,33 @@
 //! (topology, global configuration, metric registries). Event delivery order
 //! is total: ties on timestamp break by schedule order (FIFO), so repeated
 //! runs replay identically.
+//!
+//! Event storage is delegated to [`crate::sched`]: a hierarchical
+//! [`crate::sched::TimingWheel`] by default (O(1) amortized schedule/expire,
+//! O(1) in-place cancel), or the retained
+//! [`crate::sched::BinaryHeapSched`] oracle when the crate is built with
+//! `--features heap-sched`. Both deliver the identical total order, which
+//! `tests/sched_differential.rs` and `tests/determinism.rs` pin down.
 
 use std::any::Any;
-use std::collections::BinaryHeap;
 
-use crate::fxhash::FxHashSet;
 use crate::rng::Rng;
+use crate::sched::Scheduler;
 use crate::time::{SimDuration, SimTime};
+
+pub use crate::sched::EventHandle;
 
 /// Index of a node registered with the kernel.
 pub type NodeId = usize;
 
-/// Handle to a scheduled event; used to cancel timers.
-///
-/// Packs the event's delivery time and schedule sequence number into one
-/// `(time << 64) | seq` key. Because events are delivered in strictly
-/// increasing key order, comparing a handle's key against the kernel's
-/// last-popped watermark tells exactly whether the event already fired —
-/// which is what lets [`Kernel::cancel`] be a no-op for fired events instead
-/// of leaking a tombstone per cancellation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct EventHandle(u128);
-
-#[inline]
-fn event_key(time: SimTime, seq: u64) -> u128 {
-    ((time.as_nanos() as u128) << 64) | seq as u128
-}
+/// The scheduler the kernel runs on. The timing wheel is the default; the
+/// `heap-sched` feature swaps in the binary-heap oracle so the whole
+/// simulation (tests, experiments) can be replayed on it for differential
+/// validation.
+#[cfg(not(feature = "heap-sched"))]
+type SchedImpl<E> = crate::sched::TimingWheel<E>;
+#[cfg(feature = "heap-sched")]
+type SchedImpl<E> = crate::sched::BinaryHeapSched<E>;
 
 /// A simulated entity that receives timestamped events.
 pub trait Node<E, C>: Any {
@@ -51,44 +52,23 @@ pub trait Node<E, C>: Any {
     }
 }
 
-struct Scheduled<E> {
-    /// `(time << 64) | seq` — one u128 comparison orders the heap.
-    key: u128,
+/// The one place events enter the scheduler: clamps past timestamps to
+/// `now`, assigns the FIFO tie-break sequence number, and inserts. Both
+/// [`Api::send_at`] and [`Kernel::post`] funnel through here so the
+/// (time, seq) total order has a single owner.
+#[inline]
+fn schedule_event<E>(
+    sched: &mut SchedImpl<E>,
+    next_seq: &mut u64,
+    now: SimTime,
     dst: NodeId,
+    at: SimTime,
     ev: E,
-}
-
-impl<E> Scheduled<E> {
-    #[inline]
-    fn time(&self) -> SimTime {
-        SimTime((self.key >> 64) as u64)
-    }
-
-    #[inline]
-    fn seq(&self) -> u64 {
-        self.key as u64
-    }
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Scheduled<E> {
-    /// Reversed on purpose: `BinaryHeap` is a max-heap, so inverting the key
-    /// comparison makes `pop()` return the earliest `(time, seq)` without a
-    /// `Reverse` wrapper on every element.
-    #[inline]
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        other.key.cmp(&self.key)
-    }
+) -> EventHandle {
+    let at = at.max(now);
+    let seq = *next_seq;
+    *next_seq += 1;
+    sched.schedule(at, seq, dst, ev)
 }
 
 /// Per-event view handed to [`Node::on_event`].
@@ -105,10 +85,8 @@ pub struct Api<'a, E, C> {
     pub ctx: &'a mut C,
     /// Deterministic RNG (one shared stream; fork per node for isolation).
     pub rng: &'a mut Rng,
-    queue: &'a mut BinaryHeap<Scheduled<E>>,
+    sched: &'a mut SchedImpl<E>,
     next_seq: &'a mut u64,
-    cancelled: &'a mut FxHashSet<u64>,
-    last_popped: u128,
 }
 
 impl<'a, E, C> Api<'a, E, C> {
@@ -120,12 +98,7 @@ impl<'a, E, C> Api<'a, E, C> {
     /// Schedule `ev` for delivery to `dst` at absolute time `at` (clamped to
     /// now if in the past).
     pub fn send_at(&mut self, dst: NodeId, at: SimTime, ev: E) -> EventHandle {
-        let at = at.max(self.now);
-        let seq = *self.next_seq;
-        *self.next_seq += 1;
-        let key = event_key(at, seq);
-        self.queue.push(Scheduled { key, dst, ev });
-        EventHandle(key)
+        schedule_event(self.sched, self.next_seq, self.now, dst, at, ev)
     }
 
     /// Schedule an event to this node itself (timer idiom).
@@ -133,29 +106,19 @@ impl<'a, E, C> Api<'a, E, C> {
         self.send(self.self_id, delay, ev)
     }
 
-    /// Cancel a previously scheduled event. Cancelling an event that already
-    /// fired is a harmless no-op (and leaves no tombstone behind: the handle
-    /// key is compared against the delivery watermark).
+    /// Cancel a previously scheduled event in O(1). Cancelling an event that
+    /// already fired is a harmless no-op (the wheel's generation stamp — or
+    /// the oracle's delivery watermark — proves the event is gone).
     pub fn cancel(&mut self, h: EventHandle) {
-        if h.0 > self.last_popped {
-            self.cancelled.insert(h.0 as u64);
-        }
+        self.sched.cancel(h);
     }
 }
 
-/// The simulation kernel: nodes + event queue + clock.
+/// The simulation kernel: nodes + event scheduler + clock.
 pub struct Kernel<E, C> {
     nodes: Vec<Option<Box<dyn NodeObj<E, C>>>>,
     names: Vec<String>,
-    queue: BinaryHeap<Scheduled<E>>,
-    /// Tombstones for cancelled-but-not-yet-popped events, keyed by sequence
-    /// number. Bounded by the number of pending cancellations: entries are
-    /// removed when the event pops, and cancels of already-fired events never
-    /// insert (see [`Kernel::cancel`]).
-    cancelled: FxHashSet<u64>,
-    /// `(time, seq)` key of the most recently popped event — the delivery
-    /// watermark. Any handle at or below it has already been consumed.
-    last_popped: u128,
+    sched: SchedImpl<E>,
     now: SimTime,
     next_seq: u64,
     events_processed: u64,
@@ -190,9 +153,7 @@ impl<E, C> Kernel<E, C> {
         Kernel {
             nodes: Vec::new(),
             names: Vec::new(),
-            queue: BinaryHeap::new(),
-            cancelled: FxHashSet::default(),
-            last_popped: 0,
+            sched: SchedImpl::default(),
             now: SimTime::ZERO,
             next_seq: 0,
             events_processed: 0,
@@ -232,21 +193,14 @@ impl<E, C> Kernel<E, C> {
 
     /// Schedule an event from outside any node (harness setup).
     pub fn post(&mut self, dst: NodeId, at: SimTime, ev: E) -> EventHandle {
-        let at = at.max(self.now);
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let key = event_key(at, seq);
-        self.queue.push(Scheduled { key, dst, ev });
-        EventHandle(key)
+        schedule_event(&mut self.sched, &mut self.next_seq, self.now, dst, at, ev)
     }
 
     /// Cancel an event scheduled via [`Kernel::post`] or [`Api::send`].
     /// Cancelling an event that already fired is a no-op and leaves no state
     /// behind.
     pub fn cancel(&mut self, h: EventHandle) {
-        if h.0 > self.last_popped {
-            self.cancelled.insert(h.0 as u64);
-        }
+        self.sched.cancel(h);
     }
 
     /// Immutable typed access to a node (harness inspection between events).
@@ -301,47 +255,40 @@ impl<E, C> Kernel<E, C> {
 
     /// Deliver the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        loop {
-            let Some(item) = self.queue.pop() else {
-                return false;
+        self.step_due(SimTime::MAX)
+    }
+
+    /// Deliver the next event if it is due at or before `deadline`.
+    /// Returns `false` when nothing (live) is due.
+    fn step_due(&mut self, deadline: SimTime) -> bool {
+        let Some((time, dst, ev)) = self.sched.pop_due(deadline) else {
+            return false;
+        };
+        debug_assert!(time >= self.now, "event queue time went backwards");
+        self.now = time;
+        self.events_processed += 1;
+        let mut node = self.nodes[dst]
+            .take()
+            .unwrap_or_else(|| panic!("node {dst} delivered to recursively"));
+        {
+            let mut api = Api {
+                now: self.now,
+                self_id: dst,
+                ctx: &mut self.ctx,
+                rng: &mut self.rng,
+                sched: &mut self.sched,
+                next_seq: &mut self.next_seq,
             };
-            self.last_popped = item.key;
-            if !self.cancelled.is_empty() && self.cancelled.remove(&item.seq()) {
-                continue;
-            }
-            debug_assert!(item.time() >= self.now, "event queue time went backwards");
-            self.now = item.time();
-            self.events_processed += 1;
-            let mut node = self.nodes[item.dst]
-                .take()
-                .unwrap_or_else(|| panic!("node {} delivered to recursively", item.dst));
-            {
-                let mut api = Api {
-                    now: self.now,
-                    self_id: item.dst,
-                    ctx: &mut self.ctx,
-                    rng: &mut self.rng,
-                    queue: &mut self.queue,
-                    next_seq: &mut self.next_seq,
-                    cancelled: &mut self.cancelled,
-                    last_popped: self.last_popped,
-                };
-                node.on_event_obj(item.ev, &mut api);
-            }
-            self.nodes[item.dst] = Some(node);
-            return true;
+            node.on_event_obj(ev, &mut api);
         }
+        self.nodes[dst] = Some(node);
+        true
     }
 
     /// Run until the queue is empty or simulated time would pass `deadline`.
     /// Events at exactly `deadline` are delivered.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.next_event_time() {
-            if t > deadline {
-                break;
-            }
-            self.step();
-        }
+        while self.step_due(deadline) {}
         if self.now < deadline {
             self.now = deadline;
         }
@@ -353,29 +300,24 @@ impl<E, C> Kernel<E, C> {
     }
 
     /// Timestamp of the next pending (non-cancelled) event, if any.
-    pub fn next_event_time(&mut self) -> Option<SimTime> {
-        while let Some(head) = self.queue.peek() {
-            if !self.cancelled.is_empty() && self.cancelled.contains(&head.seq()) {
-                let item = self.queue.pop().expect("peeked head exists");
-                self.last_popped = item.key;
-                self.cancelled.remove(&item.seq());
-                continue;
-            }
-            return Some(head.time());
-        }
-        None
+    ///
+    /// Borrowing `&self` only: the wheel peeks through its occupancy bitmaps
+    /// (and the heap oracle scans past tombstoned heads), so inspection
+    /// never perturbs scheduler state.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.sched.next_time()
     }
 
-    /// Number of pending events (including cancelled tombstones).
+    /// Number of pending events (including cancelled-but-unreclaimed ones).
     pub fn pending_events(&self) -> usize {
-        self.queue.len()
+        self.sched.len()
     }
 
     /// Number of outstanding cancellation tombstones. Bounded by the number
-    /// of cancelled-but-not-yet-popped events; exposed so tests can assert
-    /// the set does not leak across long runs.
+    /// of cancelled-but-not-yet-reclaimed events; exposed so tests can
+    /// assert the backlog does not leak across long runs.
     pub fn cancelled_backlog(&self) -> usize {
-        self.cancelled.len()
+        self.sched.cancelled_backlog()
     }
 }
 
@@ -522,7 +464,8 @@ mod tests {
         // The classic transport idiom: arm a retransmit timer, then cancel
         // it after it (logically) completed — i.e. cancel handles of events
         // that already fired. The seed kernel leaked one tombstone per such
-        // cancel; the watermark makes them no-ops.
+        // cancel; the generation stamp (wheel) / watermark (heap oracle)
+        // makes them no-ops.
         let (mut k, a, _) = two_node_kernel();
         let mut fired: Vec<EventHandle> = Vec::new();
         for round in 0..10_000u64 {
@@ -541,7 +484,7 @@ mod tests {
             "fired-event cancels must not leak"
         );
 
-        // Live cancellations do occupy the set — but only until they pop.
+        // Live cancellations do occupy the backlog — but only until reclaim.
         let pending: Vec<_> = (0..100)
             .map(|i| k.post(a, k.now() + SimDuration::from_micros(i + 1), Ev::Ping(0)))
             .collect();

@@ -32,6 +32,7 @@ pub mod fxhash;
 pub mod kernel;
 pub mod queue;
 pub mod rng;
+pub mod sched;
 pub mod stats;
 pub mod tbf;
 pub mod time;
@@ -40,8 +41,9 @@ pub mod trace;
 pub use cpu::CpuPool;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kernel::{Api, EventHandle, Kernel, Node, NodeId};
-pub use queue::DropTailQueue;
+pub use queue::{DropTailQueue, QueueDropStats};
 pub use rng::Rng;
+pub use sched::{BinaryHeapSched, Scheduler, TimingWheel};
 pub use stats::{Counter, Histogram, MeterRate, TimeWeighted};
 pub use tbf::TokenBucket;
 pub use time::{SimDuration, SimTime};

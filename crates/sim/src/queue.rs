@@ -3,9 +3,31 @@
 //! Used for NIC transmit rings, ToR egress queues, and the vswitch backlog.
 //! Drops are counted rather than silently discarded so experiments can report
 //! loss (Fig. 12 depends on losses during flow migration being visible to
-//! TCP as dup-acks).
+//! TCP as dup-acks), and they are counted *per cause* — packet-bound vs
+//! byte-bound — so migration-window loss can be attributed to ring depth vs
+//! byte backlog instead of one opaque total.
 
 use std::collections::VecDeque;
+
+/// Drop counters split by which bound rejected the packet.
+///
+/// When a packet would exceed both bounds at once, the packet bound wins the
+/// attribution (it is checked first: ring slots are the scarcer resource in
+/// the NIC model this queue stands in for).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueDropStats {
+    /// Drops because the queue already held `max_packets` items.
+    pub packet_bound: u64,
+    /// Drops because admitting the packet would exceed `max_bytes`.
+    pub byte_bound: u64,
+}
+
+impl QueueDropStats {
+    /// Total drops regardless of cause.
+    pub fn total(&self) -> u64 {
+        self.packet_bound + self.byte_bound
+    }
+}
 
 /// A bounded FIFO with drop-tail semantics.
 #[derive(Debug, Clone)]
@@ -15,7 +37,7 @@ pub struct DropTailQueue<T> {
     max_bytes: u64,
     cur_bytes: u64,
     enqueued: u64,
-    dropped: u64,
+    drops: QueueDropStats,
 }
 
 impl<T> DropTailQueue<T> {
@@ -28,27 +50,38 @@ impl<T> DropTailQueue<T> {
             max_bytes,
             cur_bytes: 0,
             enqueued: 0,
-            dropped: 0,
+            drops: QueueDropStats::default(),
         }
     }
 
     /// Attempt to enqueue `item` of `bytes`; returns `false` (and counts a
-    /// drop) when either bound would be exceeded.
+    /// drop against the bound that rejected it) when either bound would be
+    /// exceeded. Byte accounting saturates, so a pathological `bytes` value
+    /// cannot overflow the depth counter.
     pub fn push(&mut self, item: T, bytes: u64) -> bool {
-        if self.items.len() >= self.max_packets || self.cur_bytes + bytes > self.max_bytes {
-            self.dropped += 1;
+        if self.items.len() >= self.max_packets {
+            self.drops.packet_bound += 1;
             return false;
         }
-        self.items.push_back((item, bytes));
-        self.cur_bytes += bytes;
-        self.enqueued += 1;
-        true
+        match self.cur_bytes.checked_add(bytes) {
+            Some(new_bytes) if new_bytes <= self.max_bytes => {
+                self.items.push_back((item, bytes));
+                self.cur_bytes = new_bytes;
+                self.enqueued += 1;
+                true
+            }
+            // Overflowing u64 byte depth certainly exceeds the bound.
+            _ => {
+                self.drops.byte_bound += 1;
+                false
+            }
+        }
     }
 
     /// Dequeue the head, if any.
     pub fn pop(&mut self) -> Option<(T, u64)> {
         let (item, bytes) = self.items.pop_front()?;
-        self.cur_bytes -= bytes;
+        self.cur_bytes = self.cur_bytes.saturating_sub(bytes);
         Some((item, bytes))
     }
 
@@ -77,9 +110,14 @@ impl<T> DropTailQueue<T> {
         self.enqueued
     }
 
-    /// Packets dropped since construction.
+    /// Packets dropped since construction (all causes).
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.drops.total()
+    }
+
+    /// Per-cause drop counters.
+    pub fn drop_stats(&self) -> QueueDropStats {
+        self.drops
     }
 }
 
@@ -106,6 +144,8 @@ mod tests {
         assert!(q.push(2, 1));
         assert!(!q.push(3, 1));
         assert_eq!(q.dropped(), 1);
+        assert_eq!(q.drop_stats().packet_bound, 1);
+        assert_eq!(q.drop_stats().byte_bound, 0);
         assert_eq!(q.len(), 2);
     }
 
@@ -116,7 +156,49 @@ mod tests {
         assert!(!q.push(2, 1500));
         assert!(q.push(3, 500)); // still fits by bytes
         assert_eq!(q.dropped(), 1);
+        assert_eq!(q.drop_stats().byte_bound, 1);
+        assert_eq!(q.drop_stats().packet_bound, 0);
         assert_eq!(q.bytes(), 2_000);
+    }
+
+    #[test]
+    fn drop_causes_attributed_independently() {
+        let mut q = DropTailQueue::new(2, 1_000);
+        assert!(q.push(1, 900));
+        assert!(!q.push(2, 200)); // byte-bound
+        assert!(q.push(3, 50));
+        assert!(!q.push(4, 10)); // packet-bound (2 items queued)
+        let stats = q.drop_stats();
+        assert_eq!(
+            stats,
+            QueueDropStats {
+                packet_bound: 1,
+                byte_bound: 1
+            }
+        );
+        assert_eq!(stats.total(), q.dropped());
+    }
+
+    #[test]
+    fn full_queue_attributes_to_packet_bound_first() {
+        // Both bounds exceeded at once: attribution goes to the packet
+        // bound, which is checked first.
+        let mut q = DropTailQueue::new(1, 100);
+        assert!(q.push(1, 100));
+        assert!(!q.push(2, 200));
+        assert_eq!(q.drop_stats().packet_bound, 1);
+        assert_eq!(q.drop_stats().byte_bound, 0);
+    }
+
+    #[test]
+    fn pathological_byte_sizes_do_not_overflow() {
+        let mut q = DropTailQueue::new(10, u64::MAX);
+        assert!(q.push(1, u64::MAX - 10));
+        assert!(!q.push(2, u64::MAX)); // would saturate past the bound
+        assert_eq!(q.drop_stats().byte_bound, 1);
+        assert_eq!(q.bytes(), u64::MAX - 10);
+        q.pop();
+        assert_eq!(q.bytes(), 0);
     }
 
     #[test]
