@@ -11,6 +11,7 @@ use fastrak_bench::harness::{black_box, Suite};
 use fastrak_net::addr::{Ip, Mac, TenantId};
 use fastrak_net::flow::{FlowKey, Proto};
 use fastrak_net::packet::{Encap, L4Meta, Packet};
+use fastrak_sim::fault::{FaultConfig, FaultLayer};
 use fastrak_sim::kernel::{Api, Kernel, Node};
 use fastrak_sim::time::{SimDuration, SimTime};
 
@@ -100,6 +101,26 @@ fn main() {
 
     s.bench("des_kernel_100k_events", || {
         let mut k = Kernel::new((), 1);
+        let a = k.add_node(Ping {
+            peer: 1,
+            left: 50_000,
+        });
+        let _b = k.add_node(Ping {
+            peer: a,
+            left: 50_000,
+        });
+        k.post(a, SimTime::ZERO, 0);
+        k.run_to_completion();
+        black_box(k.events_processed());
+    });
+
+    // Same workload with a zero-probability fault plane attached: the
+    // fault-injection hook on the send path must stay free when every
+    // probability is zero (the plane is consulted but never draws). The
+    // perf gate holds this within ratio of the hook-free bench above.
+    s.bench("des_kernel_100k_events_zero_fault", || {
+        let mut k = Kernel::new((), 1);
+        k.set_fault_layer(FaultLayer::new(FaultConfig::default(), |_| true, |_| None));
         let a = k.add_node(Ping {
             peer: 1,
             left: 50_000,

@@ -2,6 +2,7 @@
 //! See DESIGN.md's experiment index for the mapping.
 
 pub mod ablations;
+pub mod fault_matrix;
 pub mod fig12;
 pub mod fig3;
 pub mod fig4;
@@ -25,6 +26,7 @@ pub fn all_ids() -> &'static [&'static str] {
         "table4",
         "fig12",
         "ablations",
+        "fault_matrix",
     ]
 }
 
@@ -40,6 +42,7 @@ pub fn run(id: &str, full: bool) -> Option<Vec<Artifact>> {
         "table4" => Some(table4::run(full)),
         "fig12" => Some(fig12::run(full)),
         "ablations" => Some(ablations::run(full)),
+        "fault_matrix" => Some(fault_matrix::run(full)),
         _ => None,
     }
 }

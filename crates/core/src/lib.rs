@@ -33,7 +33,7 @@ pub use local::{LocalController, LocalControllerConfig, Timing};
 pub use me::{AggDemand, MeasurementEngine, VmDemandProfile};
 pub use protocol::{DemandReport, MigrationPrepare, OffloadDecision, VmLimit};
 pub use rules::{RuleManager, SynthesisError};
-pub use tor_ctrl::{TorController, TorControllerConfig};
+pub use tor_ctrl::{CtrlPlaneConfig, TorController, TorControllerConfig};
 
 use fastrak_net::event::{CtlMsg, Event};
 use fastrak_sim::kernel::NodeId;
@@ -54,6 +54,9 @@ pub struct FasTrakConfig {
     pub budget: usize,
     /// Tenant policies for rule synthesis.
     pub rule_manager: RuleManager,
+    /// Control-plane failure handling (install retry/backoff, periodic
+    /// reconciliation, hardware-suspension cooldown).
+    pub ctrl: CtrlPlaneConfig,
 }
 
 impl Default for FasTrakConfig {
@@ -65,6 +68,7 @@ impl Default for FasTrakConfig {
             limits: Vec::new(),
             budget: 256,
             rule_manager: RuleManager::new(),
+            ctrl: CtrlPlaneConfig::default(),
         }
     }
 }
@@ -101,6 +105,7 @@ pub fn attach(bed: &mut Testbed, cfg: FasTrakConfig) -> FasTrak {
         budget: cfg.budget,
         demote_grace: fastrak_sim::time::SimDuration::from_millis(50),
         rule_manager: cfg.rule_manager,
+        ctrl: cfg.ctrl,
     }));
 
     let mut locals = Vec::new();

@@ -17,11 +17,11 @@
 use std::collections::{HashMap, HashSet};
 
 use fastrak_net::addr::{Ip, TenantId};
-use fastrak_net::ctrl::{CtrlReply, CtrlRequest, TorStatEntry};
+use fastrak_net::ctrl::{CtrlReply, CtrlRequest, TorRule, TorStatEntry};
 use fastrak_net::event::{CtlMsg, Event, NetCtx};
 use fastrak_net::flow::{FlowAggregate, FlowSpec};
-use fastrak_sim::kernel::{Api, Node, NodeId};
-use fastrak_sim::time::SimDuration;
+use fastrak_sim::kernel::{Api, EventHandle, Node, NodeId};
+use fastrak_sim::time::{SimDuration, SimTime};
 
 use crate::de::{DeConfig, DecisionEngine};
 use crate::me::AggDemand;
@@ -37,6 +37,47 @@ mod tags {
     pub const DECIDE: u64 = 3;
     /// Garbage-collect demoted ToR rules (a = gc token).
     pub const GC: u64 = 4;
+    /// Install transaction timeout (a = xid, b = attempt).
+    pub const INSTALL_TIMEOUT: u64 = 5;
+    /// Periodic reconciliation sweep against actual ToR rule state.
+    pub const RECONCILE: u64 = 6;
+}
+
+/// Control-plane hardening knobs: install-transaction retry/backoff and the
+/// periodic state reconciliation sweep. The defaults assume the testbed's
+/// sub-millisecond control RTT (ToR agent latency 200 µs + 100 µs send
+/// delay each way); real deployments would scale them with their RTT.
+#[derive(Debug, Clone)]
+pub struct CtrlPlaneConfig {
+    /// Ack deadline for the first install attempt; doubles per retry
+    /// (bounded exponential backoff) up to [`CtrlPlaneConfig::backoff_cap`].
+    pub install_timeout: SimDuration,
+    /// Retransmissions after the initial attempt before the transaction is
+    /// abandoned (rolled back; reconciliation cleans hardware).
+    pub max_install_retries: u32,
+    /// Upper bound on the per-attempt timeout.
+    pub backoff_cap: SimDuration,
+    /// Period of the reconciliation sweep ([`SimDuration::ZERO`] disables).
+    pub reconcile_interval: SimDuration,
+    /// Consecutive install failures (Error replies or abandoned
+    /// transactions) that trigger hardware suspension.
+    pub hw_failure_threshold: u32,
+    /// How long offloads stay suspended (traffic remains on the software
+    /// path) after the failure threshold trips.
+    pub hw_cooldown: SimDuration,
+}
+
+impl Default for CtrlPlaneConfig {
+    fn default() -> Self {
+        CtrlPlaneConfig {
+            install_timeout: SimDuration::from_millis(10),
+            max_install_retries: 5,
+            backoff_cap: SimDuration::from_millis(160),
+            reconcile_interval: SimDuration::from_secs(1),
+            hw_failure_threshold: 3,
+            hw_cooldown: SimDuration::from_secs(2),
+        }
+    }
 }
 
 /// TOR controller configuration.
@@ -57,6 +98,8 @@ pub struct TorControllerConfig {
     pub demote_grace: SimDuration,
     /// Tenant policies for rule synthesis.
     pub rule_manager: RuleManager,
+    /// Failure-handling knobs (retry/backoff, reconciliation, cooldown).
+    pub ctrl: CtrlPlaneConfig,
 }
 
 /// Epoch-pair meter over the ToR's per-rule cumulative counters.
@@ -138,6 +181,22 @@ impl HwMeter {
     }
 }
 
+/// An install transaction awaiting the ToR's Ack. Keeps everything needed
+/// to retransmit: the batch is resent verbatim under the same xid, and the
+/// ToR's idempotent install semantics make re-delivery harmless.
+struct InstallTxn {
+    /// Aggregates the batch offloads.
+    aggs: Vec<FlowAggregate>,
+    /// The synthesized rule bundle (kept for retransmission).
+    rules: Vec<TorRule>,
+    /// Decision broadcast deferred until the Ack lands.
+    broadcast: OffloadDecision,
+    /// 0 for the initial send; incremented per retransmission.
+    attempt: u32,
+    /// Handle of the armed timeout timer (cancelled when a reply lands).
+    timeout: EventHandle,
+}
+
 /// The TOR controller node.
 pub struct TorController {
     cfg: TorControllerConfig,
@@ -152,19 +211,46 @@ pub struct TorController {
     spec_to_agg: HashMap<(TenantId, FlowSpec), FlowAggregate>,
     hw: HwMeter,
     next_xid: u64,
-    /// Offloads awaiting ToR Ack: xid → (aggregates, decision skeleton).
-    pending_install: HashMap<u64, (Vec<FlowAggregate>, OffloadDecision)>,
+    /// Offloads awaiting ToR Ack, keyed by xid.
+    pending_install: HashMap<u64, InstallTxn>,
     /// Demoted rule sets awaiting GC.
     gc_queue: HashMap<u64, Vec<(TenantId, FlowSpec)>>,
     next_gc: u64,
     epoch_in_interval: u32,
     interval: u64,
+    /// Outstanding reconciliation dump: (xid, offloaded set snapshotted at
+    /// request time). The snapshot keeps installs acked while the dump was
+    /// in flight from being misclassified as lost.
+    pending_reconcile: Option<(u64, HashSet<FlowAggregate>)>,
+    reconcile_armed: bool,
+    /// Install failures in a row; resets on any successful Ack.
+    consecutive_install_failures: u32,
+    /// While set and in the future, no new offloads are attempted (traffic
+    /// stays on the software path).
+    hw_suspended_until: Option<SimTime>,
     /// Fast-path entries currently used by this controller.
     pub entries_used: usize,
     /// Decision rounds executed.
     pub rounds: u64,
-    /// Installs rejected by the ToR (fast-path exhaustion races).
+    /// Installs rejected by the ToR (Error replies: fast-path exhaustion
+    /// races or injected failures).
     pub install_failures: u64,
+    /// Install batches retransmitted after an Ack timeout.
+    pub install_retries: u64,
+    /// Install timeout timers that fired on a still-pending transaction.
+    pub install_timeouts: u64,
+    /// Transactions abandoned after exhausting retries.
+    pub installs_abandoned: u64,
+    /// Reconciliation sweeps performed.
+    pub reconcile_sweeps: u64,
+    /// Untracked hardware rules removed by reconciliation.
+    pub reconcile_stale_removed: u64,
+    /// Offloaded aggregates demoted because the hardware lost their rule.
+    pub reconcile_lost_demoted: u64,
+    /// `entries_used` drift repairs performed by reconciliation.
+    pub reconcile_counter_repairs: u64,
+    /// Times the failure threshold tripped hardware suspension.
+    pub hw_suspensions: u64,
 }
 
 impl TorController {
@@ -187,9 +273,21 @@ impl TorController {
             next_gc: 0,
             epoch_in_interval: 0,
             interval: 0,
+            pending_reconcile: None,
+            reconcile_armed: false,
+            consecutive_install_failures: 0,
+            hw_suspended_until: None,
             entries_used: 0,
             rounds: 0,
             install_failures: 0,
+            install_retries: 0,
+            install_timeouts: 0,
+            installs_abandoned: 0,
+            reconcile_sweeps: 0,
+            reconcile_stale_removed: 0,
+            reconcile_lost_demoted: 0,
+            reconcile_counter_repairs: 0,
+            hw_suspensions: 0,
             cfg,
         }
     }
@@ -291,7 +389,10 @@ impl TorController {
                 self.hw.forget(agg);
             }
             if !specs.is_empty() {
-                self.entries_used = self.entries_used.saturating_sub(specs.len());
+                // Exact accounting: `specs` counts entries actually removed
+                // from `installed_spec`, each of which incremented
+                // `entries_used` exactly once.
+                self.entries_used -= specs.len();
                 let token = self.next_gc;
                 self.next_gc += 1;
                 self.gc_queue.insert(token, specs);
@@ -306,19 +407,33 @@ impl TorController {
             }
         }
 
+        // While the hardware is suspended (too many consecutive install
+        // failures), attempt no offloads: traffic stays on the software
+        // path until the cooldown expires.
+        let hw_ok = match self.hw_suspended_until {
+            Some(t) if api.now < t => false,
+            Some(_) => {
+                self.hw_suspended_until = None;
+                true
+            }
+            None => true,
+        };
+
         // Offloads: synthesize rules, install at the ToR, broadcast on Ack.
         let mut rules = Vec::new();
         let mut offloadable = Vec::new();
-        for agg in &decision.offload {
-            if self.entries_used + rules.len() >= self.cfg.budget {
-                break;
-            }
-            match self.cfg.rule_manager.synthesize(agg, 10) {
-                Ok(rule) => {
-                    rules.push(rule);
-                    offloadable.push(*agg);
+        if hw_ok {
+            for agg in &decision.offload {
+                if self.entries_used + rules.len() >= self.cfg.budget {
+                    break;
                 }
-                Err(_) => { /* deny-overlap: skip this aggregate */ }
+                match self.cfg.rule_manager.synthesize(agg, 10) {
+                    Ok(rule) => {
+                        rules.push(rule);
+                        offloadable.push(*agg);
+                    }
+                    Err(_) => { /* deny-overlap: skip this aggregate */ }
+                }
             }
         }
         let broadcast = OffloadDecision {
@@ -336,17 +451,94 @@ impl TorController {
             for (agg, rule) in offloadable.iter().zip(&rules) {
                 self.installed_spec.insert(*agg, (rule.tenant, rule.spec));
                 self.spec_to_agg.insert((rule.tenant, rule.spec), *agg);
+                // Re-offloading a spec whose demoted rule still awaits GC:
+                // drop the GC token's claim so the grace-period sweep can't
+                // delete a rule the hardware is about to need again (the
+                // install itself is an idempotent no-op at the ToR).
+                self.unqueue_gc(rule.tenant, &rule.spec);
             }
             self.entries_used += rules.len();
-            self.pending_install.insert(xid, (offloadable, broadcast));
-            api.send(
-                self.cfg.tor,
-                SimDuration::from_micros(100),
-                Event::Ctl(CtlMsg::new(
-                    api.self_id,
-                    CtrlRequest::InstallTorRules { rules, xid },
-                )),
+            self.pending_install.insert(
+                xid,
+                InstallTxn {
+                    aggs: offloadable,
+                    rules,
+                    broadcast,
+                    attempt: 0,
+                    timeout: EventHandle::NULL,
+                },
             );
+            self.send_install(api, xid);
+        }
+    }
+
+    /// (Re)transmit a pending install batch and arm its Ack timeout with
+    /// bounded exponential backoff (`install_timeout * 2^attempt`, capped).
+    fn send_install(&mut self, api: &mut Api<'_, Event, NetCtx>, xid: u64) {
+        let (rules, attempt) = match self.pending_install.get(&xid) {
+            Some(t) => (t.rules.clone(), t.attempt),
+            None => return,
+        };
+        api.send(
+            self.cfg.tor,
+            SimDuration::from_micros(100),
+            Event::Ctl(CtlMsg::new(
+                api.self_id,
+                CtrlRequest::InstallTorRules { rules, xid },
+            )),
+        );
+        let backoff = self
+            .cfg
+            .ctrl
+            .install_timeout
+            .0
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.cfg.ctrl.backoff_cap.0);
+        let h = api.timer(
+            SimDuration(backoff),
+            Event::Timer {
+                tag: tags::INSTALL_TIMEOUT,
+                a: xid,
+                b: attempt as u64,
+            },
+        );
+        if let Some(txn) = self.pending_install.get_mut(&xid) {
+            txn.timeout = h;
+        }
+    }
+
+    /// Ack-timeout handling: retransmit with backoff, or — once the retry
+    /// budget is spent — abandon the transaction: roll the bookkeeping
+    /// back, broadcast only the demotions (placers never flipped, so no
+    /// traffic is blackholed), and count a hardware failure. Any rules a
+    /// late-arriving attempt installs anyway become untracked hardware
+    /// state that the reconciliation sweep removes.
+    fn on_install_timeout(&mut self, api: &mut Api<'_, Event, NetCtx>, xid: u64, attempt: u64) {
+        let current = match self.pending_install.get(&xid) {
+            Some(t) => t.attempt,
+            None => return,
+        };
+        if current as u64 != attempt {
+            return; // stale timer from a superseded attempt
+        }
+        self.install_timeouts += 1;
+        if current >= self.cfg.ctrl.max_install_retries {
+            let txn = self
+                .pending_install
+                .remove(&xid)
+                .expect("checked just above");
+            self.installs_abandoned += 1;
+            self.rollback_install(&txn.aggs);
+            self.record_hw_failure(api.now);
+            let mut b = txn.broadcast;
+            b.offload.clear();
+            self.broadcast(api, b);
+        } else {
+            if let Some(txn) = self.pending_install.get_mut(&xid) {
+                txn.attempt += 1;
+            }
+            self.install_retries += 1;
+            self.send_install(api, xid);
         }
     }
 
@@ -361,26 +553,151 @@ impl TorController {
     }
 
     fn on_install_ack(&mut self, api: &mut Api<'_, Event, NetCtx>, xid: u64, ok: bool) {
-        let Some((aggs, broadcast)) = self.pending_install.remove(&xid) else {
-            return;
+        let Some(txn) = self.pending_install.remove(&xid) else {
+            return; // duplicate reply, or reply after abandonment
         };
+        api.cancel(txn.timeout);
         if ok {
-            for a in &aggs {
+            self.consecutive_install_failures = 0;
+            for a in &txn.aggs {
                 self.offloaded.insert(*a);
             }
-            self.broadcast(api, broadcast);
+            self.broadcast(api, txn.broadcast);
         } else {
-            // Roll back bookkeeping; broadcast only the demotions.
+            // Definitive rejection (capacity exhausted / injected failure):
+            // the ToR's atomic batch left no partial state, so roll back the
+            // bookkeeping exactly and broadcast only the demotions.
             self.install_failures += 1;
-            self.entries_used = self.entries_used.saturating_sub(aggs.len());
-            for a in &aggs {
-                if let Some(s) = self.installed_spec.remove(a) {
+            self.rollback_install(&txn.aggs);
+            self.record_hw_failure(api.now);
+            let mut b = txn.broadcast;
+            b.offload.clear();
+            self.broadcast(api, b);
+        }
+    }
+
+    /// Undo `decide()`'s eager bookkeeping for aggregates whose install
+    /// never took effect. Exact accounting: `entries_used` is decremented
+    /// only for entries actually still recorded (never a blanket
+    /// `saturating_sub`, which masked double-frees against a concurrent
+    /// demote-GC), and the reverse map entry is removed only while it still
+    /// points at the same aggregate.
+    fn rollback_install(&mut self, aggs: &[FlowAggregate]) {
+        for a in aggs {
+            if let Some(s) = self.installed_spec.remove(a) {
+                debug_assert!(self.entries_used > 0, "entries_used underflow");
+                self.entries_used -= 1;
+                if self.spec_to_agg.get(&s) == Some(a) {
                     self.spec_to_agg.remove(&s);
                 }
             }
-            let mut b = broadcast;
-            b.offload.clear();
-            self.broadcast(api, b);
+        }
+    }
+
+    /// Count one hardware install failure; past the threshold, suspend
+    /// offloads for the cooldown (graceful degradation to the software
+    /// path — demand keeps being served via the vswitch).
+    fn record_hw_failure(&mut self, now: SimTime) {
+        self.consecutive_install_failures += 1;
+        if self.consecutive_install_failures >= self.cfg.ctrl.hw_failure_threshold {
+            self.consecutive_install_failures = 0;
+            self.hw_suspended_until = Some(now + self.cfg.ctrl.hw_cooldown);
+            self.hw_suspensions += 1;
+        }
+    }
+
+    /// Remove `(tenant, spec)` from every pending demote-GC batch (called
+    /// when the spec is re-offloaded during its grace period).
+    fn unqueue_gc(&mut self, tenant: TenantId, spec: &FlowSpec) {
+        for specs in self.gc_queue.values_mut() {
+            specs.retain(|s| !(s.0 == tenant && s.1 == *spec));
+        }
+    }
+
+    /// True when a demote-GC batch still claims this rule (it is within its
+    /// grace period and must not be treated as untracked).
+    fn gc_pending(&self, s: &(TenantId, FlowSpec)) -> bool {
+        self.gc_queue.values().any(|v| v.contains(s))
+    }
+
+    /// Reconciliation: compare the ToR's actual rule inventory against the
+    /// controller's bookkeeping and repair both sides. Three repairs:
+    ///
+    /// 1. hardware rules nobody tracks (left by abandoned transactions or
+    ///    late retransmits) are removed immediately;
+    /// 2. offloaded aggregates whose rule vanished from hardware are
+    ///    demoted (placers flip back to the software path — better than
+    ///    silently dropping at the ToR's default-deny VRF);
+    /// 3. `entries_used` is re-derived from `installed_spec` if drifted.
+    ///
+    /// Only aggregates already offloaded when the dump was *requested* are
+    /// eligible for (2): anything acked while the dump was in flight is
+    /// legitimately absent from the reply.
+    fn on_reconcile_dump(
+        &mut self,
+        api: &mut Api<'_, Event, NetCtx>,
+        xid: u64,
+        rules: Vec<(TenantId, FlowSpec)>,
+    ) {
+        let Some((want, snapshot)) = self.pending_reconcile.take() else {
+            return; // duplicate reply
+        };
+        if xid != want {
+            // A delayed reply to a superseded sweep; keep waiting.
+            self.pending_reconcile = Some((want, snapshot));
+            return;
+        }
+
+        let stale: Vec<(TenantId, FlowSpec)> = rules
+            .iter()
+            .filter(|rs| !self.spec_to_agg.contains_key(rs) && !self.gc_pending(rs))
+            .copied()
+            .collect();
+        if !stale.is_empty() {
+            self.reconcile_stale_removed += stale.len() as u64;
+            api.send(
+                self.cfg.tor,
+                SimDuration::from_micros(100),
+                Event::Ctl(CtlMsg::new(
+                    api.self_id,
+                    CtrlRequest::RemoveTorRules { rules: stale },
+                )),
+            );
+        }
+
+        let have: HashSet<(TenantId, FlowSpec)> = rules.into_iter().collect();
+        let mut lost: Vec<FlowAggregate> = snapshot
+            .into_iter()
+            .filter(|a| self.offloaded.contains(a))
+            .filter(|a| {
+                self.installed_spec
+                    .get(a)
+                    .is_some_and(|s| !have.contains(s))
+            })
+            .collect();
+        lost.sort();
+        if !lost.is_empty() {
+            self.reconcile_lost_demoted += lost.len() as u64;
+            for a in &lost {
+                self.offloaded.remove(a);
+                self.hw.forget(a);
+            }
+            self.rollback_install(&lost);
+            self.broadcast(
+                api,
+                OffloadDecision {
+                    interval: self.interval,
+                    offload: Vec::new(),
+                    demote: lost,
+                    hw_agg_bps: Vec::new(),
+                },
+            );
+        }
+
+        let expect = self.installed_spec.len();
+        if self.entries_used != expect {
+            self.reconcile_counter_repairs += 1;
+            self.entries_used = expect;
         }
     }
 
@@ -413,7 +730,7 @@ impl TorController {
             self.offloaded.remove(agg);
             self.hw.forget(agg);
         }
-        self.entries_used = self.entries_used.saturating_sub(specs.len());
+        self.entries_used -= specs.len();
         self.broadcast(
             api,
             OffloadDecision {
@@ -444,6 +761,17 @@ impl Node<Event, NetCtx> for TorController {
             Event::Timer {
                 tag: tags::EPOCH, ..
             } => {
+                if !self.reconcile_armed && self.cfg.ctrl.reconcile_interval > SimDuration::ZERO {
+                    self.reconcile_armed = true;
+                    api.timer(
+                        self.cfg.ctrl.reconcile_interval,
+                        Event::Timer {
+                            tag: tags::RECONCILE,
+                            a: 0,
+                            b: 0,
+                        },
+                    );
+                }
                 self.request_tor_dump(api, false);
                 api.timer(
                     self.cfg.timing.sample_gap,
@@ -469,16 +797,51 @@ impl Node<Event, NetCtx> for TorController {
             Event::Timer {
                 tag: tags::GC, a, ..
             } => {
+                // A batch can drain to empty if every spec was re-offloaded
+                // during the grace period (see `unqueue_gc`).
                 if let Some(specs) = self.gc_queue.remove(&a) {
-                    api.send(
-                        self.cfg.tor,
-                        SimDuration::from_micros(100),
-                        Event::Ctl(CtlMsg::new(
-                            api.self_id,
-                            CtrlRequest::RemoveTorRules { rules: specs },
-                        )),
-                    );
+                    if !specs.is_empty() {
+                        api.send(
+                            self.cfg.tor,
+                            SimDuration::from_micros(100),
+                            Event::Ctl(CtlMsg::new(
+                                api.self_id,
+                                CtrlRequest::RemoveTorRules { rules: specs },
+                            )),
+                        );
+                    }
                 }
+            }
+            Event::Timer {
+                tag: tags::INSTALL_TIMEOUT,
+                a,
+                b,
+            } => {
+                self.on_install_timeout(api, a, b);
+            }
+            Event::Timer {
+                tag: tags::RECONCILE,
+                ..
+            } => {
+                self.reconcile_sweeps += 1;
+                let xid = self.next_xid;
+                self.next_xid += 1;
+                // A still-outstanding previous sweep (dump or reply lost to
+                // faults) is superseded: its snapshot is replaced wholesale.
+                self.pending_reconcile = Some((xid, self.offloaded.clone()));
+                api.send(
+                    self.cfg.tor,
+                    SimDuration::from_micros(50),
+                    Event::Ctl(CtlMsg::new(api.self_id, CtrlRequest::DumpTorRules { xid })),
+                );
+                api.timer(
+                    self.cfg.ctrl.reconcile_interval,
+                    Event::Timer {
+                        tag: tags::RECONCILE,
+                        a: 0,
+                        b: 0,
+                    },
+                );
             }
             Event::Ctl(msg) => {
                 let msg = match msg.downcast::<CtrlReply>() {
@@ -514,6 +877,10 @@ impl Node<Event, NetCtx> for TorController {
                     }
                     Ok((_, CtrlReply::Error { xid, .. })) => {
                         self.on_install_ack(api, xid, false);
+                        return;
+                    }
+                    Ok((_, CtrlReply::TorRuleDump { xid, rules, .. })) => {
+                        self.on_reconcile_dump(api, xid, rules);
                         return;
                     }
                     Ok(_) => return,

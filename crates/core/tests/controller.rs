@@ -184,6 +184,351 @@ fn fps_splits_rate_limits_across_paths() {
     assert!(bed.app::<MemslapClient>(cli).completed() > 10_000);
 }
 
+// ---------------------------------------------------------------------------
+// Control-plane fault tolerance: seeded fault injection, install
+// retry/timeout/backoff, atomic ToR batches, reconciliation sweep.
+// ---------------------------------------------------------------------------
+
+use fastrak::{CtrlPlaneConfig, TorController};
+use fastrak_net::ctrl::{CtrlReply, CtrlRequest, TorRule};
+use fastrak_net::event::{ctl_fault_layer, duplicate_ctl_event, CtlMsg, Event, NetCtx};
+use fastrak_net::flow::{FlowKey, FlowSpec, Proto};
+use fastrak_net::rules::Action;
+use fastrak_sim::fault::{FaultConfig, FaultLayer, LinkFaults};
+use fastrak_sim::kernel::{Api, Kernel, Node};
+use fastrak_sim::time::SimDuration;
+use fastrak_switch::tor::{Tor, TorConfig};
+
+/// Classifier for [`FaultLayer`]: fault only Ack/Error control replies, so
+/// install acknowledgements get lost while the periodic measurement loops
+/// (stat dumps, demand reports) keep running.
+fn reply_only(ev: &Event) -> bool {
+    match ev {
+        Event::Ctl(m) => matches!(
+            m.peek::<CtrlReply>(),
+            Some(CtrlReply::Ack { .. } | CtrlReply::Error { .. })
+        ),
+        _ => false,
+    }
+}
+
+fn exact_rule(tenant: TenantId, src_port: u16) -> TorRule {
+    TorRule {
+        tenant,
+        spec: FlowSpec::exact(FlowKey {
+            tenant,
+            src_ip: Ip::tenant_vm(200),
+            dst_ip: Ip::tenant_vm(201),
+            proto: Proto::Tcp,
+            src_port,
+            dst_port: 80,
+        }),
+        priority: 10,
+        action: Action::Allow,
+        tunnel: None,
+        qos: None,
+    }
+}
+
+/// Test node that records every control reply addressed to it.
+#[derive(Default)]
+struct Probe {
+    replies: Vec<CtrlReply>,
+}
+
+impl Node<Event, NetCtx> for Probe {
+    fn on_event(&mut self, ev: Event, _api: &mut Api<'_, Event, NetCtx>) {
+        if let Event::Ctl(m) = ev {
+            if let Some(r) = m.peek::<CtrlReply>() {
+                self.replies.push(r.clone());
+            }
+        }
+    }
+}
+
+/// Losing every install Ack for a window forces timeout-driven retries (and
+/// eventually abandonment + re-offload); once the window lifts the
+/// controller must converge with its bookkeeping matching ToR hardware.
+#[test]
+fn lost_install_acks_retry_until_converged() {
+    let (mut bed, _mc, _cli) = build();
+    let ft = attach(
+        &mut bed,
+        FasTrakConfig {
+            timing: Timing::fine(),
+            ..Default::default()
+        },
+    );
+    bed.kernel.set_fault_layer(FaultLayer::new(
+        FaultConfig {
+            seed: 11,
+            default_link: LinkFaults::loss(1.0),
+            window: Some((SimTime::from_millis(400), SimTime::from_millis(1_500))),
+            ..Default::default()
+        },
+        reply_only,
+        duplicate_ctl_event,
+    ));
+    ft.start(&mut bed);
+    bed.start();
+    bed.run_until(SimTime::from_millis(5_300));
+
+    let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
+    assert!(
+        tc.install_timeouts >= 1,
+        "dropped acks must trip the install timeout, got {}",
+        tc.install_timeouts
+    );
+    assert!(
+        tc.install_retries >= 1,
+        "timeouts must trigger retransmits, got {}",
+        tc.install_retries
+    );
+    assert!(
+        !tc.offloaded().is_empty(),
+        "controller must converge once the loss window lifts"
+    );
+    assert_eq!(
+        tc.entries_used,
+        bed.tor().acl_rules(),
+        "controller bookkeeping must match ToR hardware after recovery"
+    );
+    let fp = bed.kernel.fault_plane().expect("fault plane attached");
+    assert!(fp.stats.dropped >= 1, "the window must have eaten acks");
+}
+
+/// Acceptance criterion: under 5% seeded control-message loss the
+/// controller converges to the same offloaded set as the fault-free run,
+/// with `entries_used` equal to the ToR's installed rule count at the end.
+#[test]
+fn five_percent_control_loss_converges_to_fault_free_set() {
+    let horizon = SimTime::from_millis(6_300);
+    let run = |faults: Option<FaultConfig>| {
+        let (mut bed, _mc, _cli) = build();
+        // max_offloaded keeps the decision problem well-separated (the two
+        // memcached aggregates win by orders of magnitude), so set equality
+        // tests control-plane recovery rather than DE tie-breaking on
+        // borderline aggregates under perturbed measurements.
+        let ft = attach(
+            &mut bed,
+            FasTrakConfig {
+                de: DeConfig {
+                    max_offloaded: Some(2),
+                    ..DeConfig::paper()
+                },
+                ..Default::default()
+            },
+        );
+        if let Some(cfg) = faults {
+            bed.kernel.set_fault_layer(ctl_fault_layer(cfg));
+        }
+        ft.start(&mut bed);
+        bed.start();
+        bed.run_until(horizon);
+        let mut aggs: Vec<String> = ft
+            .offloaded(&bed)
+            .iter()
+            .map(|a| format!("{a:?}"))
+            .collect();
+        aggs.sort();
+        let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
+        let dropped = bed
+            .kernel
+            .fault_plane()
+            .map(|fp| fp.stats.dropped)
+            .unwrap_or(0);
+        (aggs, tc.entries_used, bed.tor().acl_rules(), dropped)
+    };
+
+    let (clean_set, clean_used, clean_hw, _) = run(None);
+    let (lossy_set, lossy_used, lossy_hw, dropped) = run(Some(FaultConfig {
+        seed: 23,
+        default_link: LinkFaults::loss(0.05),
+        ..Default::default()
+    }));
+
+    assert!(!clean_set.is_empty(), "fault-free run must offload");
+    assert!(dropped > 0, "5% loss must actually drop messages");
+    assert_eq!(
+        lossy_set, clean_set,
+        "5% control loss must converge to the fault-free offloaded set"
+    );
+    assert_eq!(clean_used, clean_hw, "fault-free invariant");
+    assert_eq!(
+        lossy_used, lossy_hw,
+        "entries_used == installed ToR rules must hold under loss"
+    );
+}
+
+/// A ToR install batch that dies mid-way (fast-path memory exhausted) must
+/// roll back the rules it already placed: no partial state, one Error.
+#[test]
+fn partial_install_batch_rolls_back_at_tor() {
+    let mut kernel = Kernel::new(NetCtx::new(), 1);
+    let mut cfg = TorConfig::testbed("tor", 0);
+    cfg.fastpath_capacity = 2;
+    let tor = kernel.add_node(Tor::new(cfg));
+    let probe = kernel.add_node(Probe::default());
+
+    // Pre-existing rule occupies one of the two slots.
+    let pre = exact_rule(T, 1);
+    kernel.node_mut::<Tor>(tor).install_rule(&pre).unwrap();
+
+    // Batch of three: the first already present (skipped), the second fits,
+    // the third exceeds capacity — the whole batch must unwind.
+    kernel.post(
+        tor,
+        SimTime::from_micros(10),
+        Event::Ctl(CtlMsg::new(
+            probe,
+            CtrlRequest::InstallTorRules {
+                rules: vec![exact_rule(T, 1), exact_rule(T, 2), exact_rule(T, 3)],
+                xid: 7,
+            },
+        )),
+    );
+    kernel.run_until(SimTime::from_millis(5));
+
+    let t = kernel.node::<Tor>(tor);
+    assert_eq!(t.acl_rules(), 1, "failed batch must leave no residue");
+    assert!(t.has_rule(T, &pre.spec), "pre-existing rule must survive");
+    assert_eq!(t.fastpath_used(), 1, "usage counter must unwind too");
+    let p = kernel.node::<Probe>(probe);
+    assert!(
+        matches!(p.replies.as_slice(), [CtrlReply::Error { xid: 7, .. }]),
+        "exactly one Error reply expected, got {:?}",
+        p.replies
+    );
+}
+
+/// A duplicated/retransmitted install batch (same xid, same rules) is a
+/// no-op at the ToR: rules are matched by identity, not installed twice.
+#[test]
+fn duplicate_install_batch_is_idempotent() {
+    let mut kernel = Kernel::new(NetCtx::new(), 1);
+    let tor = kernel.add_node(Tor::new(TorConfig::testbed("tor", 0)));
+    let probe = kernel.add_node(Probe::default());
+
+    let batch = || CtrlRequest::InstallTorRules {
+        rules: vec![exact_rule(T, 1), exact_rule(T, 2)],
+        xid: 9,
+    };
+    kernel.post(
+        tor,
+        SimTime::from_micros(10),
+        Event::Ctl(CtlMsg::new(probe, batch())),
+    );
+    kernel.post(
+        tor,
+        SimTime::from_micros(900),
+        Event::Ctl(CtlMsg::new(probe, batch())),
+    );
+    kernel.run_until(SimTime::from_millis(5));
+
+    let t = kernel.node::<Tor>(tor);
+    assert_eq!(t.acl_rules(), 2, "retransmit must not double-install");
+    assert_eq!(t.fastpath_used(), 2);
+    let p = kernel.node::<Probe>(probe);
+    assert!(
+        matches!(
+            p.replies.as_slice(),
+            [CtrlReply::Ack { xid: 9 }, CtrlReply::Ack { xid: 9 }]
+        ),
+        "both deliveries ack, got {:?}",
+        p.replies
+    );
+}
+
+/// The reconciliation sweep must delete hardware rules the controller does
+/// not know about and repair a drifted `entries_used` counter.
+#[test]
+fn reconcile_sweep_removes_stale_rules_and_repairs_counters() {
+    let (mut bed, _mc, _cli) = build();
+    let ft = attach(&mut bed, FasTrakConfig::default());
+    ft.start(&mut bed);
+    bed.start();
+    bed.run_until(SimTime::from_millis(2_050));
+
+    // A rule the controller never installed (crashed predecessor, buggy
+    // operator, bit flip — the sweep should not care how it got there).
+    let stale = exact_rule(TenantId(9), 77);
+    bed.tor_mut().install_rule(&stale).unwrap();
+    // And simulated counter drift on the controller side.
+    bed.kernel
+        .node_mut::<TorController>(ft.tor_ctrl)
+        .entries_used += 3;
+
+    bed.run_until(SimTime::from_millis(3_500));
+
+    let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
+    assert!(tc.reconcile_sweeps >= 1, "sweep must have run");
+    assert!(
+        tc.reconcile_stale_removed >= 1,
+        "sweep must flag the foreign rule"
+    );
+    assert!(
+        tc.reconcile_counter_repairs >= 1,
+        "sweep must notice the drifted counter"
+    );
+    assert!(
+        !bed.tor().has_rule(TenantId(9), &stale.spec),
+        "stale rule must be removed from hardware"
+    );
+    let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
+    assert_eq!(tc.entries_used, bed.tor().acl_rules());
+}
+
+/// A scripted window of hardware install failures: every batch inside it
+/// gets an Error back. The controller must roll back cleanly each time,
+/// suspend the hardware path after repeated failures, and re-offload once
+/// the window (and cooldown) pass — ending with bookkeeping in sync.
+#[test]
+fn forced_install_failures_degrade_then_recover() {
+    let (mut bed, _mc, _cli) = build();
+    let ft = attach(
+        &mut bed,
+        FasTrakConfig {
+            timing: Timing::fine(),
+            ctrl: CtrlPlaneConfig {
+                hw_failure_threshold: 2,
+                hw_cooldown: SimDuration::from_millis(700),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    bed.kernel.set_fault_layer(ctl_fault_layer(FaultConfig {
+        seed: 5,
+        install_fail_windows: vec![(SimTime::from_millis(400), SimTime::from_millis(1_700))],
+        ..Default::default()
+    }));
+    ft.start(&mut bed);
+    bed.start();
+    bed.run_until(SimTime::from_millis(5_300));
+
+    let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
+    assert!(
+        tc.install_failures >= 2,
+        "batches inside the window must fail, got {}",
+        tc.install_failures
+    );
+    assert!(
+        tc.hw_suspensions >= 1,
+        "repeated failures must suspend the hardware path"
+    );
+    assert!(
+        !tc.offloaded().is_empty(),
+        "offload must resume after the failure window"
+    );
+    assert_eq!(
+        tc.entries_used,
+        bed.tor().acl_rules(),
+        "every failed batch must have been rolled back exactly"
+    );
+    let fp = bed.kernel.fault_plane().expect("fault plane attached");
+    assert!(fp.stats.forced_install_failures >= 2);
+}
+
 #[test]
 fn deterministic_offload_decisions() {
     let run = || {

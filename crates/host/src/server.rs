@@ -835,7 +835,9 @@ impl Server {
                     }
                 }
             }
-            CtrlRequest::InstallTorRules { .. } | CtrlRequest::RemoveTorRules { .. } => {
+            CtrlRequest::InstallTorRules { .. }
+            | CtrlRequest::RemoveTorRules { .. }
+            | CtrlRequest::DumpTorRules { .. } => {
                 // Not a server operation; ignore (a real switch agent would
                 // NAK — the controller never sends these to servers).
             }

@@ -106,6 +106,12 @@ pub enum CtrlRequest {
         /// (tenant, spec) pairs.
         rules: Vec<(TenantId, FlowSpec)>,
     },
+    /// Dump the identity of every ACL rule installed across the ToR's VRFs
+    /// (no counters — the reconciliation sweep only needs existence).
+    DumpTorRules {
+        /// Correlation id echoed in the reply.
+        xid: u64,
+    },
     /// Set the hardware-path rate limit for a VM in one direction
     /// (enforced at the ToR, §4.1.4).
     SetHwRate {
@@ -150,6 +156,18 @@ pub enum CtrlReply {
         xid: u64,
         /// Per-rule cumulative counters.
         entries: Vec<TorStatEntry>,
+    },
+    /// Identity dump of every installed ToR ACL rule (reply to
+    /// [`CtrlRequest::DumpTorRules`]; consumed by the TOR controller's
+    /// reconciliation sweep).
+    TorRuleDump {
+        /// Correlation id from the request.
+        xid: u64,
+        /// Every installed `(tenant, spec)` ACL rule.
+        rules: Vec<(TenantId, FlowSpec)>,
+        /// Fast-path entries in use (ACL rules + tunnel mappings), for
+        /// invariant checking.
+        fastpath_used: usize,
     },
     /// Positive acknowledgement.
     Ack {

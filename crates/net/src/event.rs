@@ -15,6 +15,7 @@
 
 use std::any::Any;
 
+use fastrak_sim::fault::{FaultConfig, FaultLayer};
 use fastrak_sim::kernel::NodeId;
 use fastrak_sim::trace::TraceRing;
 
@@ -26,23 +27,38 @@ pub struct CtlMsg {
     pub from: NodeId,
     /// Typed body; receivers downcast to the protocol structs they speak.
     pub body: Box<dyn Any>,
+    /// Clones the body (the `dyn Any` erasure hides `Clone`; this restores
+    /// it for duplication faults). Captured at construction, where `T` is
+    /// still concrete.
+    clone_body: fn(&dyn Any) -> Box<dyn Any>,
 }
 
 impl CtlMsg {
-    /// Wrap a typed body.
-    pub fn new<T: Any>(from: NodeId, body: T) -> CtlMsg {
+    /// Wrap a typed body. Bodies must be `Clone` so the fault-injection
+    /// layer can model duplicated delivery — every protocol struct is plain
+    /// data, so this costs nothing.
+    pub fn new<T: Any + Clone>(from: NodeId, body: T) -> CtlMsg {
         CtlMsg {
             from,
             body: Box::new(body),
+            clone_body: |b| Box::new(b.downcast_ref::<T>().expect("clone_body type").clone()),
         }
     }
 
     /// Downcast the body to a concrete message type.
     pub fn downcast<T: Any>(self) -> Result<(NodeId, T), CtlMsg> {
-        let from = self.from;
-        match self.body.downcast::<T>() {
+        let CtlMsg {
+            from,
+            body,
+            clone_body,
+        } = self;
+        match body.downcast::<T>() {
             Ok(b) => Ok((from, *b)),
-            Err(body) => Err(CtlMsg { from, body }),
+            Err(body) => Err(CtlMsg {
+                from,
+                body,
+                clone_body,
+            }),
         }
     }
 
@@ -50,6 +66,37 @@ impl CtlMsg {
     pub fn is<T: Any>(&self) -> bool {
         self.body.is::<T>()
     }
+
+    /// Borrow the body as a concrete message type without consuming.
+    /// Lets fault classifiers target specific protocol messages.
+    pub fn peek<T: Any>(&self) -> Option<&T> {
+        self.body.downcast_ref::<T>()
+    }
+
+    /// Deep-copy the message (same sender, cloned body).
+    pub fn duplicate(&self) -> CtlMsg {
+        CtlMsg {
+            from: self.from,
+            body: (self.clone_body)(self.body.as_ref()),
+            clone_body: self.clone_body,
+        }
+    }
+}
+
+/// Clone hook for [`FaultLayer`]: control messages are duplicable, frames
+/// and timers are not (faults only target the control plane).
+pub fn duplicate_ctl_event(ev: &Event) -> Option<Event> {
+    match ev {
+        Event::Ctl(msg) => Some(Event::Ctl(msg.duplicate())),
+        _ => None,
+    }
+}
+
+/// Build a [`FaultLayer`] over [`Event`] that targets every control-plane
+/// message ([`Event::Ctl`]) and leaves data-path frames and timers alone.
+/// Attach with [`fastrak_sim::Kernel::set_fault_layer`].
+pub fn ctl_fault_layer(cfg: FaultConfig) -> FaultLayer<Event> {
+    FaultLayer::new(cfg, |ev| matches!(ev, Event::Ctl(_)), duplicate_ctl_event)
 }
 
 impl std::fmt::Debug for CtlMsg {
@@ -117,9 +164,9 @@ impl NetCtx {
 mod tests {
     use super::*;
 
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, PartialEq, Clone)]
     struct Hello(u32);
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Other;
 
     #[test]
@@ -138,6 +185,33 @@ mod tests {
         // Still intact and downcastable to the right type.
         let (_, hello) = msg.downcast::<Hello>().unwrap();
         assert_eq!(hello.0, 9);
+    }
+
+    #[test]
+    fn ctl_peek_does_not_consume() {
+        let msg = CtlMsg::new(2, Hello(5));
+        assert_eq!(msg.peek::<Hello>(), Some(&Hello(5)));
+        assert!(msg.peek::<Other>().is_none());
+        let (_, hello) = msg.downcast::<Hello>().unwrap();
+        assert_eq!(hello, Hello(5));
+    }
+
+    #[test]
+    fn ctl_duplicate_deep_copies_body() {
+        let msg = CtlMsg::new(4, Hello(11));
+        let copy = msg.duplicate();
+        assert_eq!(copy.from, 4);
+        let (_, a) = msg.downcast::<Hello>().unwrap();
+        let (_, b) = copy.downcast::<Hello>().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_ctl_event_skips_timers() {
+        let timer = Event::Timer { tag: 1, a: 0, b: 0 };
+        assert!(duplicate_ctl_event(&timer).is_none());
+        let ctl = Event::Ctl(CtlMsg::new(0, Hello(1)));
+        assert!(duplicate_ctl_event(&ctl).is_some());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 use std::any::Any;
 
+use crate::fault::{FaultDecision, FaultLayer};
 use crate::rng::Rng;
 use crate::sched::Scheduler;
 use crate::time::{SimDuration, SimTime};
@@ -52,23 +53,52 @@ pub trait Node<E, C>: Any {
     }
 }
 
-/// The one place events enter the scheduler: clamps past timestamps to
-/// `now`, assigns the FIFO tie-break sequence number, and inserts. Both
+/// The one place events enter the scheduler: applies fault injection (when
+/// a layer is attached and the send crosses nodes), clamps past timestamps
+/// to `now`, assigns the FIFO tie-break sequence number, and inserts. Both
 /// [`Api::send_at`] and [`Kernel::post`] funnel through here so the
 /// (time, seq) total order has a single owner.
+///
+/// `src` is `Some` only for node-originated sends ([`Api::send_at`]);
+/// harness-level [`Kernel::post`] passes `None` and is never faulted, and
+/// self-sends (timers) are exempt because they model node-internal
+/// scheduling, not network messages. A dropped event returns
+/// [`EventHandle::NULL`], which `cancel` treats as a no-op.
 #[inline]
+#[allow(clippy::too_many_arguments)] // the kernel's single scheduling funnel
 fn schedule_event<E>(
     sched: &mut SchedImpl<E>,
     next_seq: &mut u64,
+    fault: &mut Option<FaultLayer<E>>,
     now: SimTime,
+    src: Option<NodeId>,
     dst: NodeId,
     at: SimTime,
     ev: E,
 ) -> EventHandle {
-    let at = at.max(now);
+    let mut at = at.max(now);
+    let mut dup: Option<(E, SimTime)> = None;
+    if let (Some(layer), Some(src)) = (fault.as_mut(), src) {
+        if !layer.plane.is_idle() && src != dst && (layer.classify)(&ev) {
+            match layer.plane.decide(src, dst, now) {
+                FaultDecision::Deliver => {}
+                FaultDecision::Drop => return EventHandle::NULL,
+                FaultDecision::Delay(extra) => at += extra,
+                FaultDecision::DeliverAndDuplicate(extra) => {
+                    dup = (layer.duplicate)(&ev).map(|copy| (copy, at + extra));
+                }
+            }
+        }
+    }
     let seq = *next_seq;
     *next_seq += 1;
-    sched.schedule(at, seq, dst, ev)
+    let handle = sched.schedule(at, seq, dst, ev);
+    if let Some((copy, dup_at)) = dup {
+        let seq = *next_seq;
+        *next_seq += 1;
+        sched.schedule(dup_at, seq, dst, copy);
+    }
+    handle
 }
 
 /// Per-event view handed to [`Node::on_event`].
@@ -87,6 +117,7 @@ pub struct Api<'a, E, C> {
     pub rng: &'a mut Rng,
     sched: &'a mut SchedImpl<E>,
     next_seq: &'a mut u64,
+    fault: &'a mut Option<FaultLayer<E>>,
 }
 
 impl<'a, E, C> Api<'a, E, C> {
@@ -96,9 +127,30 @@ impl<'a, E, C> Api<'a, E, C> {
     }
 
     /// Schedule `ev` for delivery to `dst` at absolute time `at` (clamped to
-    /// now if in the past).
+    /// now if in the past). Subject to fault injection when a layer is
+    /// attached and `dst` is another node; a dropped message returns
+    /// [`EventHandle::NULL`] (cancel-safe, refers to nothing).
     pub fn send_at(&mut self, dst: NodeId, at: SimTime, ev: E) -> EventHandle {
-        schedule_event(self.sched, self.next_seq, self.now, dst, at, ev)
+        schedule_event(
+            self.sched,
+            self.next_seq,
+            self.fault,
+            self.now,
+            Some(self.self_id),
+            dst,
+            at,
+            ev,
+        )
+    }
+
+    /// True when a scripted fault window (see [`crate::fault`]) forces the
+    /// current hardware rule install to fail. Always false when no fault
+    /// layer is attached.
+    pub fn fault_forces_install_failure(&mut self) -> bool {
+        match self.fault.as_mut() {
+            Some(layer) => layer.plane.install_should_fail(self.now),
+            None => false,
+        }
     }
 
     /// Schedule an event to this node itself (timer idiom).
@@ -122,6 +174,7 @@ pub struct Kernel<E, C> {
     now: SimTime,
     next_seq: u64,
     events_processed: u64,
+    fault: Option<FaultLayer<E>>,
     /// Shared context available to every node during event handling.
     pub ctx: C,
     /// Root RNG stream.
@@ -157,6 +210,7 @@ impl<E, C> Kernel<E, C> {
             now: SimTime::ZERO,
             next_seq: 0,
             events_processed: 0,
+            fault: None,
             ctx,
             rng: Rng::new(seed),
         }
@@ -191,9 +245,36 @@ impl<E, C> Kernel<E, C> {
         &self.names[id]
     }
 
-    /// Schedule an event from outside any node (harness setup).
+    /// Schedule an event from outside any node (harness setup). Never
+    /// subject to fault injection — the harness is not a simulated link.
     pub fn post(&mut self, dst: NodeId, at: SimTime, ev: E) -> EventHandle {
-        schedule_event(&mut self.sched, &mut self.next_seq, self.now, dst, at, ev)
+        schedule_event(
+            &mut self.sched,
+            &mut self.next_seq,
+            &mut self.fault,
+            self.now,
+            None,
+            dst,
+            at,
+            ev,
+        )
+    }
+
+    /// Attach (or replace) the fault-injection layer. With no layer — or a
+    /// layer whose probabilities are all zero — the send path is untouched
+    /// and runs replay identically.
+    pub fn set_fault_layer(&mut self, layer: FaultLayer<E>) {
+        self.fault = Some(layer);
+    }
+
+    /// The attached fault plane, if any (experiments read its counters).
+    pub fn fault_plane(&self) -> Option<&crate::fault::FaultPlane> {
+        self.fault.as_ref().map(|l| &l.plane)
+    }
+
+    /// Mutable access to the attached fault plane, if any.
+    pub fn fault_plane_mut(&mut self) -> Option<&mut crate::fault::FaultPlane> {
+        self.fault.as_mut().map(|l| &mut l.plane)
     }
 
     /// Cancel an event scheduled via [`Kernel::post`] or [`Api::send`].
@@ -278,6 +359,7 @@ impl<E, C> Kernel<E, C> {
                 rng: &mut self.rng,
                 sched: &mut self.sched,
                 next_seq: &mut self.next_seq,
+                fault: &mut self.fault,
             };
             node.on_event_obj(ev, &mut api);
         }

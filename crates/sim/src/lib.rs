@@ -28,6 +28,7 @@
 //! well under a second of host time.
 
 pub mod cpu;
+pub mod fault;
 pub mod fxhash;
 pub mod kernel;
 pub mod queue;
@@ -39,12 +40,13 @@ pub mod time;
 pub mod trace;
 
 pub use cpu::CpuPool;
+pub use fault::{FaultConfig, FaultDecision, FaultLayer, FaultPlane, LinkFaults};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kernel::{Api, EventHandle, Kernel, Node, NodeId};
 pub use queue::{DropTailQueue, QueueDropStats};
 pub use rng::Rng;
 pub use sched::{BinaryHeapSched, Scheduler, TimingWheel};
-pub use stats::{Counter, Histogram, MeterRate, TimeWeighted};
+pub use stats::{Counter, FaultCounters, Histogram, MeterRate, TimeWeighted};
 pub use tbf::TokenBucket;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceRecord, TraceRing};

@@ -162,7 +162,9 @@ impl ZipfTable {
         self.cdf.len()
     }
 
-    /// True when the table has exactly one rank.
+    /// True when the table has no ranks. Kept for the conventional
+    /// `len`/`is_empty` pairing; unreachable through [`ZipfTable::new`],
+    /// whose `n > 0` assert guarantees at least one rank.
     pub fn is_empty(&self) -> bool {
         self.cdf.is_empty()
     }
@@ -287,6 +289,17 @@ mod tests {
         }
         for c in counts {
             assert!((9_000..11_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn zipf_table_is_never_empty() {
+        // `new` asserts n > 0, so every constructible table has at least one
+        // rank; `is_empty` must agree with `len` (and always be false here).
+        for n in [1, 2, 100] {
+            let table = ZipfTable::new(n, 1.0);
+            assert_eq!(table.len(), n);
+            assert!(!table.is_empty());
         }
     }
 

@@ -37,6 +37,13 @@ use crate::time::SimTime;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventHandle(pub(crate) u128);
 
+impl EventHandle {
+    /// A handle that refers to no event: cancelling it is a no-op in both
+    /// scheduler implementations. Returned by the kernel's send path when
+    /// fault injection drops a message instead of scheduling it.
+    pub const NULL: EventHandle = EventHandle(u128::MAX);
+}
+
 /// `(time << 64) | seq` — one u128 comparison orders events totally.
 #[inline]
 pub(crate) fn event_key(time: SimTime, seq: u64) -> u128 {
@@ -610,6 +617,9 @@ impl<E> Scheduler<E> for BinaryHeapSched<E> {
     }
 
     fn cancel(&mut self, h: EventHandle) {
+        if h == EventHandle::NULL {
+            return;
+        }
         if h.0 > self.last_popped {
             self.cancelled.insert(h.0 as u64);
         }

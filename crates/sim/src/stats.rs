@@ -41,6 +41,25 @@ impl Counter {
     }
 }
 
+/// Outcome counters for the fault-injection plane ([`crate::fault`]): how
+/// many messages were inspected and what happened to them, plus forced
+/// hardware install failures. Experiments surface these next to controller
+/// convergence metrics so a run's fault pressure is auditable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultCounters {
+    /// Messages that reached the sampling stage (fault-eligible, on an
+    /// active link, inside the activity window).
+    pub inspected: u64,
+    /// Messages silently dropped.
+    pub dropped: u64,
+    /// Messages delivered with extra delay.
+    pub delayed: u64,
+    /// Messages delivered twice.
+    pub duplicated: u64,
+    /// Hardware rule installs forced to fail by a scripted window.
+    pub forced_install_failures: u64,
+}
+
 /// Windowed throughput meter: events/sec and bits/sec over explicit windows.
 #[derive(Debug, Clone, Default)]
 pub struct MeterRate {

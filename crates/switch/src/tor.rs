@@ -280,6 +280,39 @@ impl Tor {
         removed
     }
 
+    /// True when an ACL rule with exactly this `(tenant, spec)` identity is
+    /// installed. Lets `InstallTorRules` be idempotent: a retransmitted
+    /// batch (retry after a delayed Ack) skips rules already present.
+    pub fn has_rule(&self, tenant: TenantId, spec: &FlowSpec) -> bool {
+        self.vrfs
+            .get(&tenant)
+            .is_some_and(|v| v.contains_spec(spec))
+    }
+
+    /// Number of ACL rules installed across all VRFs (excludes tunnel
+    /// mappings, which also count against `fastpath_used`).
+    pub fn acl_rules(&self) -> usize {
+        self.vrfs.values().map(WildcardTable::len).sum()
+    }
+
+    /// Number of installed tunnel-directory mappings.
+    pub fn tunnel_entries(&self) -> usize {
+        self.tunnel_dir.len()
+    }
+
+    /// Identity of every installed ACL rule across VRFs (no counters); the
+    /// TOR controller's reconciliation sweep compares this against its
+    /// bookkeeping.
+    pub fn dump_rule_identities(&self) -> Vec<(TenantId, FlowSpec)> {
+        let mut out = Vec::new();
+        for (&tenant, vrf) in &self.vrfs {
+            for e in vrf.iter() {
+                out.push((tenant, e.spec));
+            }
+        }
+        out
+    }
+
     /// Dump per-rule statistics across all VRFs.
     pub fn dump_rule_stats(&self) -> Vec<TorStatEntry> {
         let mut out = Vec::new();
@@ -522,20 +555,37 @@ impl Tor {
                 );
             }
             CtrlRequest::InstallTorRules { rules, xid } => {
-                let mut failed = false;
-                for r in &rules {
-                    if self.install_rule(r).is_err() {
-                        failed = true;
-                        break;
+                // Atomic batch with at-most-once effect per rule: rules
+                // already present (a retransmitted batch whose Ack was lost
+                // or delayed) are skipped, and on failure only this batch's
+                // fresh installs are rolled back — an Error reply guarantees
+                // the batch left no partial hardware state behind.
+                let mut failed_reason = if api.fault_forces_install_failure() {
+                    Some("rule install failed (injected fault)")
+                } else {
+                    None
+                };
+                let mut installed: Vec<(TenantId, FlowSpec)> = Vec::new();
+                if failed_reason.is_none() {
+                    for r in &rules {
+                        if self.has_rule(r.tenant, &r.spec) {
+                            continue;
+                        }
+                        if self.install_rule(r).is_err() {
+                            failed_reason = Some("fast-path memory exhausted");
+                            break;
+                        }
+                        installed.push((r.tenant, r.spec));
                     }
                 }
-                let reply = if failed {
-                    CtrlReply::Error {
-                        xid,
-                        reason: "fast-path memory exhausted",
+                let reply = match failed_reason {
+                    Some(reason) => {
+                        for (tenant, spec) in &installed {
+                            self.remove_rule(*tenant, spec);
+                        }
+                        CtrlReply::Error { xid, reason }
                     }
-                } else {
-                    CtrlReply::Ack { xid }
+                    None => CtrlReply::Ack { xid },
                 };
                 api.send(
                     from,
@@ -547,6 +597,21 @@ impl Tor {
                 for (tenant, spec) in &rules {
                     self.remove_rule(*tenant, spec);
                 }
+            }
+            CtrlRequest::DumpTorRules { xid } => {
+                let rules = self.dump_rule_identities();
+                api.send(
+                    from,
+                    CTRL_LATENCY,
+                    Event::Ctl(CtlMsg::new(
+                        api.self_id,
+                        CtrlReply::TorRuleDump {
+                            xid,
+                            rules,
+                            fastpath_used: self.fastpath_used,
+                        },
+                    )),
+                );
             }
             CtrlRequest::SetHwRate {
                 tenant,
