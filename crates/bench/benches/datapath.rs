@@ -39,6 +39,29 @@ impl Node<u64, ()> for Ping {
     }
 }
 
+/// The same ping-pong over a context carrying the telemetry plane, with the
+/// hot path guarded the way instrumented components guard theirs: check
+/// `enabled()` and bail. With an unconfigured registry the branch is never
+/// taken, so the bench measures the cost of carrying the plane, not using it.
+struct TelemetryPing {
+    peer: usize,
+    left: u64,
+}
+impl Node<u64, fastrak_telemetry::Telemetry> for TelemetryPing {
+    fn on_event(&mut self, ev: u64, api: &mut Api<'_, u64, fastrak_telemetry::Telemetry>) {
+        if api.ctx.spans.enabled() {
+            let comp = api.ctx.spans.comp("ping");
+            api.ctx
+                .spans
+                .instant(api.now.as_nanos(), comp, "ev", ev, [0; 3]);
+        }
+        if self.left > 0 {
+            self.left -= 1;
+            api.send(self.peer, SimDuration::from_micros(1), ev + 1);
+        }
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut s = Suite::new("datapath");
@@ -126,6 +149,25 @@ fn main() {
             left: 50_000,
         });
         let _b = k.add_node(Ping {
+            peer: a,
+            left: 50_000,
+        });
+        k.post(a, SimTime::ZERO, 0);
+        k.run_to_completion();
+        black_box(k.events_processed());
+    });
+
+    // Same workload again with the telemetry plane in the context and the
+    // span guard on the hot path, but nothing registered or enabled: the
+    // observability plane must cost nothing until someone turns it on. The
+    // perf gate holds this within ratio of the plane-free bench above.
+    s.bench("telemetry_disabled_kernel_100k", || {
+        let mut k = Kernel::new(fastrak_telemetry::Telemetry::default(), 1);
+        let a = k.add_node(TelemetryPing {
+            peer: 1,
+            left: 50_000,
+        });
+        let _b = k.add_node(TelemetryPing {
             peer: a,
             left: 50_000,
         });

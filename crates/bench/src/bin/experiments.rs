@@ -8,7 +8,14 @@
 //! experiments all --json out.json
 //! experiments all --serial   # disable the thread fan-out
 //! experiments all --threads 4  # explicit fan-out width
+//! experiments all --telemetry out/  # also export metrics/trace artifacts
 //! ```
+//!
+//! `--telemetry <dir>` drops observability artifacts next to the report:
+//! `fault_matrix.metrics.jsonl` + `fault_matrix.prom` (registry snapshots)
+//! and `fig12.trace.json` (Chrome trace-event JSON; load in Perfetto).
+//! Telemetry is pull-model and never perturbs the event stream, so report
+//! numbers are bit-identical with and without the flag.
 //!
 //! Each experiment is an independent single-threaded DES world, so the
 //! suite fans out across cores with `std::thread::scope`. Results are
@@ -42,6 +49,7 @@ fn main() {
     };
     let json_path = flag_value("--json");
     let threads_override: Option<usize> = flag_value("--threads").and_then(|v| v.parse().ok());
+    let telemetry_dir = flag_value("--telemetry").map(std::path::PathBuf::from);
     // Ids are the positional args: skip flags and the values they consume.
     let mut skip_next = false;
     let mut ids: Vec<String> = Vec::new();
@@ -50,13 +58,16 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--json" || a == "--threads" {
+        if a == "--json" || a == "--threads" || a == "--telemetry" {
             skip_next = true;
             continue;
         }
         if !a.starts_with("--") {
             ids.push(a.clone());
         }
+    }
+    if let Some(dir) = &telemetry_dir {
+        std::fs::create_dir_all(dir).expect("create telemetry output dir");
     }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = experiments::all_ids()
@@ -105,7 +116,11 @@ fn main() {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(id) = ids.get(i) else { break };
                 let t0 = Instant::now();
-                let artifacts = experiments::run(id, full).expect("id validated above");
+                let artifacts = match &telemetry_dir {
+                    Some(dir) => experiments::run_with_telemetry(id, full, dir),
+                    None => experiments::run(id, full),
+                }
+                .expect("id validated above");
                 let secs = t0.elapsed().as_secs_f64();
                 eprintln!("  {id} done in {secs:.1}s");
                 **slot_refs[i].lock().expect("slot lock") = Some(Done {

@@ -77,6 +77,9 @@ struct Outcome {
     suspensions: u64,
     dropped: u64,
     forced: u64,
+    /// Full end-of-run telemetry snapshot (kernel + hosts + ToR +
+    /// controller counters), for the `--telemetry` exporters.
+    registry: fastrak_telemetry::Registry,
 }
 
 fn run_one(faults: Option<FaultConfig>, horizon: SimTime) -> Outcome {
@@ -110,26 +113,36 @@ fn run_one(faults: Option<FaultConfig>, horizon: SimTime) -> Outcome {
         .map(|a| format!("{a:?}"))
         .collect();
     offloaded.sort();
+    // Snapshot every layer into the telemetry registry; the controller's
+    // fault/recovery counters live there (single source of truth), and the
+    // same registry feeds the exported artifacts under `--telemetry`.
+    bed.publish_telemetry();
     let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
-    let (dropped, forced) = bed
-        .kernel
-        .fault_plane()
-        .map(|fp| (fp.stats.dropped, fp.stats.forced_install_failures))
-        .unwrap_or((0, 0));
+    let drift = tc.entries_used as i64 - bed.tor().acl_rules() as i64;
+    let reg = std::mem::take(&mut bed.kernel.ctx.telemetry.registry);
+    let ctr = |name: &str| reg.counter_by_name(name).unwrap_or(0);
     Outcome {
         offloaded,
-        bookkeeping_drift: tc.entries_used as i64 - bed.tor().acl_rules() as i64,
-        retries: tc.install_retries,
-        timeouts: tc.install_timeouts,
-        failures: tc.install_failures,
-        suspensions: tc.hw_suspensions,
-        dropped,
-        forced,
+        bookkeeping_drift: drift,
+        retries: ctr("ctrl.install_retries"),
+        timeouts: ctr("ctrl.install_timeouts"),
+        failures: ctr("ctrl.install_failures"),
+        suspensions: ctr("ctrl.hw_suspensions"),
+        dropped: ctr("sim.fault.dropped"),
+        forced: ctr("sim.fault.forced_install_failures"),
+        registry: reg,
     }
 }
 
 /// Regenerate the fault-matrix report.
 pub fn run(full: bool) -> Vec<Artifact> {
+    run_with_export(full).0
+}
+
+/// Regenerate the report and also return the forced-failure run's telemetry
+/// registry — the richest snapshot (fault-plane, controller, host, and ToR
+/// counters all non-trivial), exported under `experiments --telemetry`.
+pub fn run_with_export(full: bool) -> (Vec<Artifact>, fastrak_telemetry::Registry) {
     let horizon = if full {
         SimTime::from_millis(8_300)
     } else {
@@ -253,5 +266,5 @@ pub fn run(full: bool) -> Vec<Artifact> {
         got.suspensions as f64,
         "count",
     ));
-    vec![a, b]
+    (vec![a, b], got.registry)
 }

@@ -21,7 +21,27 @@ use crate::scenarios::{micro_bed, PathSetup, SERVER_IP, TENANT};
 pub type TracePoint = (f64, u64);
 
 /// Run the migration experiment; returns (artifact, downsampled seq trace).
-pub fn run_with_trace(_full: bool) -> (Artifact, Vec<TracePoint>) {
+pub fn run_with_trace(full: bool) -> (Artifact, Vec<TracePoint>) {
+    let (a, points, _) = run_inner(full, false);
+    (a, points)
+}
+
+/// Run the migration experiment with flow-lifecycle span tracing enabled
+/// and export the Chrome trace-event JSON (Perfetto-loadable): one track
+/// per component, the sender VM's path residency ("vif" → "sriov") as
+/// consecutive slices with the shift at the t=1 s migration instant.
+pub fn chrome_trace_json(full: bool) -> String {
+    run_inner(full, true).2.expect("telemetry was enabled")
+}
+
+/// One traced run returning both the report artifact and the Chrome trace
+/// (so `--telemetry` doesn't pay for the simulation twice).
+pub fn run_traced(full: bool) -> (Vec<Artifact>, String) {
+    let (a, _, trace) = run_inner(full, true);
+    (vec![a], trace.expect("telemetry was enabled"))
+}
+
+fn run_inner(_full: bool, telemetry: bool) -> (Artifact, Vec<TracePoint>, Option<String>) {
     let mut cfg = StreamConfig::netperf(SERVER_IP, 5201, 32_000);
     cfg.threads = 1; // a single iperf flow
     let mut mb = micro_bed(
@@ -33,6 +53,10 @@ pub fn run_with_trace(_full: bool) -> (Artifact, Vec<TracePoint>) {
     // Authorize the hardware path but leave the placer on the VIF.
     mb.bed.authorize_hw_tenant(TENANT);
     mb.bed.kernel.ctx.trace.set_enabled(true);
+    if telemetry {
+        mb.bed.kernel.ctx.telemetry.spans.set_enabled(true);
+        mb.bed.kernel.ctx.telemetry.audit.set_enabled(true);
+    }
     mb.bed.start();
 
     // Let the flow run for one second on the VIF.
@@ -150,7 +174,14 @@ pub fn run_with_trace(_full: bool) -> (Artifact, Vec<TracePoint>) {
         "sender egress shifts at t=1 s; ACK path stays on the VIF (asymmetric, as in the paper)",
     );
     a.note("seq-vs-time series available via `experiments fig12 --csv`");
-    (a, points)
+
+    let trace_json = telemetry.then(|| {
+        let now_ns = mb.bed.now().as_nanos();
+        let telemetry = &mut mb.bed.kernel.ctx.telemetry;
+        telemetry.spans.finish(now_ns);
+        fastrak_telemetry::export::chrome_trace(&telemetry.spans, Some(&telemetry.audit))
+    });
+    (a, points, trace_json)
 }
 
 /// Regenerate Fig. 12.

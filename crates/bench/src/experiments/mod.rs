@@ -46,3 +46,39 @@ pub fn run(id: &str, full: bool) -> Option<Vec<Artifact>> {
         _ => None,
     }
 }
+
+/// Run one experiment by id and drop its telemetry artifacts into `dir`
+/// (`experiments --telemetry <dir>`). Exports per experiment:
+///
+/// * `fault_matrix` — `fault_matrix.metrics.jsonl` + `fault_matrix.prom`,
+///   the forced-failure run's full registry snapshot;
+/// * `fig12` — `fig12.trace.json`, a Chrome trace-event file of the flow
+///   migration (load in Perfetto / `chrome://tracing`);
+/// * everything else runs unchanged (telemetry stays zero-config).
+pub fn run_with_telemetry(id: &str, full: bool, dir: &std::path::Path) -> Option<Vec<Artifact>> {
+    let write = |name: &str, content: String| {
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("  wrote {}", path.display());
+    };
+    match id {
+        "fault_matrix" => {
+            let (arts, reg) = fault_matrix::run_with_export(full);
+            write(
+                "fault_matrix.metrics.jsonl",
+                fastrak_telemetry::export::metrics_jsonl(&reg),
+            );
+            write(
+                "fault_matrix.prom",
+                fastrak_telemetry::export::prometheus_text(&reg),
+            );
+            Some(arts)
+        }
+        "fig12" => {
+            let (arts, trace) = fig12::run_traced(full);
+            write("fig12.trace.json", trace);
+            Some(arts)
+        }
+        _ => run(id, full),
+    }
+}

@@ -33,7 +33,7 @@ pub use local::{LocalController, LocalControllerConfig, Timing};
 pub use me::{AggDemand, MeasurementEngine, VmDemandProfile};
 pub use protocol::{DemandReport, MigrationPrepare, OffloadDecision, VmLimit};
 pub use rules::{RuleManager, SynthesisError};
-pub use tor_ctrl::{CtrlPlaneConfig, TorController, TorControllerConfig};
+pub use tor_ctrl::{CtrlCounterIds, CtrlPlaneConfig, TorController, TorControllerConfig};
 
 use fastrak_net::event::{CtlMsg, Event};
 use fastrak_sim::kernel::NodeId;
@@ -95,7 +95,10 @@ pub fn attach(bed: &mut Testbed, cfg: FasTrakConfig) -> FasTrak {
     let server_ips: Vec<fastrak_net::addr::Ip> =
         (0..n).map(|i| bed.server(i).cfg.provider_ip).collect();
 
-    // Create the TOR controller first so locals can reference it.
+    // Create the TOR controller first so locals can reference it. Its
+    // fault/recovery counters live in the telemetry registry (dense ids,
+    // registered once here; the registry is the single source of truth).
+    let counters = CtrlCounterIds::register(&mut bed.kernel.ctx.telemetry.registry);
     let tor_node = bed.tor;
     let tor_ctrl = bed.kernel.add_node(TorController::new(TorControllerConfig {
         tor: tor_node,
@@ -106,6 +109,7 @@ pub fn attach(bed: &mut Testbed, cfg: FasTrakConfig) -> FasTrak {
         demote_grace: fastrak_sim::time::SimDuration::from_millis(50),
         rule_manager: cfg.rule_manager,
         ctrl: cfg.ctrl,
+        counters,
     }));
 
     let mut locals = Vec::new();

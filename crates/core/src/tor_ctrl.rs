@@ -22,6 +22,9 @@ use fastrak_net::event::{CtlMsg, Event, NetCtx};
 use fastrak_net::flow::{FlowAggregate, FlowSpec};
 use fastrak_sim::kernel::{Api, EventHandle, Node, NodeId};
 use fastrak_sim::time::{SimDuration, SimTime};
+use fastrak_telemetry::recorder::{DecisionKind, Severity};
+use fastrak_telemetry::span::SpanId;
+use fastrak_telemetry::{CounterId, Registry};
 
 use crate::de::{DeConfig, DecisionEngine};
 use crate::me::AggDemand;
@@ -80,6 +83,50 @@ impl Default for CtrlPlaneConfig {
     }
 }
 
+/// Dense registry ids for the controller's fault/recovery counters,
+/// registered once at deployment ([`crate::attach`]) so every increment on
+/// the control path is a plain array write. The registry is the single
+/// source of truth — the controller keeps no shadow fields.
+#[derive(Debug, Clone, Copy)]
+pub struct CtrlCounterIds {
+    /// Installs rejected by the ToR (Error replies).
+    pub install_failures: CounterId,
+    /// Install batches retransmitted after an Ack timeout.
+    pub install_retries: CounterId,
+    /// Install timeout timers that fired on a still-pending transaction.
+    pub install_timeouts: CounterId,
+    /// Transactions abandoned after exhausting retries.
+    pub installs_abandoned: CounterId,
+    /// Reconciliation sweeps performed.
+    pub reconcile_sweeps: CounterId,
+    /// Untracked hardware rules removed by reconciliation.
+    pub reconcile_stale_removed: CounterId,
+    /// Offloaded aggregates demoted because the hardware lost their rule.
+    pub reconcile_lost_demoted: CounterId,
+    /// `entries_used` drift repairs performed by reconciliation.
+    pub reconcile_counter_repairs: CounterId,
+    /// Times the failure threshold tripped hardware suspension.
+    pub hw_suspensions: CounterId,
+}
+
+impl CtrlCounterIds {
+    /// Register the nine `ctrl.*` counters (idempotent: the registry dedups
+    /// by rendered name, so re-registration returns the same ids).
+    pub fn register(reg: &mut Registry) -> CtrlCounterIds {
+        CtrlCounterIds {
+            install_failures: reg.counter("ctrl.install_failures", &[]),
+            install_retries: reg.counter("ctrl.install_retries", &[]),
+            install_timeouts: reg.counter("ctrl.install_timeouts", &[]),
+            installs_abandoned: reg.counter("ctrl.installs_abandoned", &[]),
+            reconcile_sweeps: reg.counter("ctrl.reconcile_sweeps", &[]),
+            reconcile_stale_removed: reg.counter("ctrl.reconcile_stale_removed", &[]),
+            reconcile_lost_demoted: reg.counter("ctrl.reconcile_lost_demoted", &[]),
+            reconcile_counter_repairs: reg.counter("ctrl.reconcile_counter_repairs", &[]),
+            hw_suspensions: reg.counter("ctrl.hw_suspensions", &[]),
+        }
+    }
+}
+
 /// TOR controller configuration.
 pub struct TorControllerConfig {
     /// The ToR switch node.
@@ -100,6 +147,9 @@ pub struct TorControllerConfig {
     pub rule_manager: RuleManager,
     /// Failure-handling knobs (retry/backoff, reconciliation, cooldown).
     pub ctrl: CtrlPlaneConfig,
+    /// Registry ids for the controller's counters (see
+    /// [`CtrlCounterIds::register`]).
+    pub counters: CtrlCounterIds,
 }
 
 /// Epoch-pair meter over the ToR's per-rule cumulative counters.
@@ -195,6 +245,9 @@ struct InstallTxn {
     attempt: u32,
     /// Handle of the armed timeout timer (cancelled when a reply lands).
     timeout: EventHandle,
+    /// Open `offload-xact` telemetry span (None when tracing is disabled);
+    /// closed when the transaction resolves (Ack, Error, or abandonment).
+    span: Option<SpanId>,
 }
 
 /// The TOR controller node.
@@ -232,25 +285,6 @@ pub struct TorController {
     pub entries_used: usize,
     /// Decision rounds executed.
     pub rounds: u64,
-    /// Installs rejected by the ToR (Error replies: fast-path exhaustion
-    /// races or injected failures).
-    pub install_failures: u64,
-    /// Install batches retransmitted after an Ack timeout.
-    pub install_retries: u64,
-    /// Install timeout timers that fired on a still-pending transaction.
-    pub install_timeouts: u64,
-    /// Transactions abandoned after exhausting retries.
-    pub installs_abandoned: u64,
-    /// Reconciliation sweeps performed.
-    pub reconcile_sweeps: u64,
-    /// Untracked hardware rules removed by reconciliation.
-    pub reconcile_stale_removed: u64,
-    /// Offloaded aggregates demoted because the hardware lost their rule.
-    pub reconcile_lost_demoted: u64,
-    /// `entries_used` drift repairs performed by reconciliation.
-    pub reconcile_counter_repairs: u64,
-    /// Times the failure threshold tripped hardware suspension.
-    pub hw_suspensions: u64,
 }
 
 impl TorController {
@@ -279,15 +313,6 @@ impl TorController {
             hw_suspended_until: None,
             entries_used: 0,
             rounds: 0,
-            install_failures: 0,
-            install_retries: 0,
-            install_timeouts: 0,
-            installs_abandoned: 0,
-            reconcile_sweeps: 0,
-            reconcile_stale_removed: 0,
-            reconcile_lost_demoted: 0,
-            reconcile_counter_repairs: 0,
-            hw_suspensions: 0,
             cfg,
         }
     }
@@ -436,6 +461,39 @@ impl TorController {
                 }
             }
         }
+        // Audit every offload/demote with the score that ranked it, the
+        // current software/hardware rate split, and fast-path occupancy.
+        if api.ctx.telemetry.audit.enabled() {
+            let by_agg: HashMap<FlowAggregate, &AggDemand> =
+                demands.iter().map(|d| (d.agg, d)).collect();
+            let hw_bps: HashMap<FlowAggregate, f64> = hw_agg_bps.iter().copied().collect();
+            let now_ns = api.now.as_nanos();
+            let (de, entries_used, budget) = (&self.de, self.entries_used, self.cfg.budget);
+            let audit = &mut api.ctx.telemetry.audit;
+            let decided = decision
+                .demote
+                .iter()
+                .map(|a| (DecisionKind::Demote, a))
+                .chain(offloadable.iter().map(|a| (DecisionKind::Offload, a)));
+            for (kind, agg) in decided {
+                let (score, total_bits) = by_agg
+                    .get(agg)
+                    .map(|d| (de.score(d), d.bps * 8.0))
+                    .unwrap_or((0.0, 0.0));
+                let hw_bits = hw_bps.get(agg).copied().unwrap_or(0.0);
+                let sw_bits = (total_bits - hw_bits).max(0.0);
+                audit.decision(
+                    now_ns,
+                    kind,
+                    &format!("{agg:?}"),
+                    score,
+                    (sw_bits as u64, hw_bits as u64),
+                    entries_used as u64,
+                    budget as u64,
+                );
+            }
+        }
+
         let broadcast = OffloadDecision {
             interval: self.interval,
             offload: offloadable.clone(),
@@ -458,6 +516,16 @@ impl TorController {
                 self.unqueue_gc(rule.tenant, &rule.spec);
             }
             self.entries_used += rules.len();
+            // Trace the install transaction: opens here, closes on the Ack
+            // (or Error/abandonment) so the span length is the offload
+            // hand-shake latency.
+            let span = if api.ctx.telemetry.spans.enabled() {
+                let spans = &mut api.ctx.telemetry.spans;
+                let comp = spans.comp("tor-ctrl");
+                spans.begin(api.now.as_nanos(), comp, "offload-xact", xid)
+            } else {
+                None
+            };
             self.pending_install.insert(
                 xid,
                 InstallTxn {
@@ -466,6 +534,7 @@ impl TorController {
                     broadcast,
                     attempt: 0,
                     timeout: EventHandle::NULL,
+                    span,
                 },
             );
             self.send_install(api, xid);
@@ -521,15 +590,31 @@ impl TorController {
         if current as u64 != attempt {
             return; // stale timer from a superseded attempt
         }
-        self.install_timeouts += 1;
+        api.ctx
+            .telemetry
+            .registry
+            .inc(self.cfg.counters.install_timeouts);
         if current >= self.cfg.ctrl.max_install_retries {
             let txn = self
                 .pending_install
                 .remove(&xid)
                 .expect("checked just above");
-            self.installs_abandoned += 1;
+            api.ctx
+                .telemetry
+                .registry
+                .inc(self.cfg.counters.installs_abandoned);
+            api.ctx.telemetry.flight.record(
+                api.now.as_nanos(),
+                "tor-ctrl",
+                Severity::Error,
+                "install transaction abandoned after retry budget",
+                [xid, current as u64, txn.aggs.len() as u64],
+            );
+            if let Some(s) = txn.span {
+                api.ctx.telemetry.spans.end(api.now.as_nanos(), s);
+            }
             self.rollback_install(&txn.aggs);
-            self.record_hw_failure(api.now);
+            self.record_hw_failure(api);
             let mut b = txn.broadcast;
             b.offload.clear();
             self.broadcast(api, b);
@@ -537,7 +622,10 @@ impl TorController {
             if let Some(txn) = self.pending_install.get_mut(&xid) {
                 txn.attempt += 1;
             }
-            self.install_retries += 1;
+            api.ctx
+                .telemetry
+                .registry
+                .inc(self.cfg.counters.install_retries);
             self.send_install(api, xid);
         }
     }
@@ -557,6 +645,9 @@ impl TorController {
             return; // duplicate reply, or reply after abandonment
         };
         api.cancel(txn.timeout);
+        if let Some(s) = txn.span {
+            api.ctx.telemetry.spans.end(api.now.as_nanos(), s);
+        }
         if ok {
             self.consecutive_install_failures = 0;
             for a in &txn.aggs {
@@ -567,9 +658,12 @@ impl TorController {
             // Definitive rejection (capacity exhausted / injected failure):
             // the ToR's atomic batch left no partial state, so roll back the
             // bookkeeping exactly and broadcast only the demotions.
-            self.install_failures += 1;
+            api.ctx
+                .telemetry
+                .registry
+                .inc(self.cfg.counters.install_failures);
             self.rollback_install(&txn.aggs);
-            self.record_hw_failure(api.now);
+            self.record_hw_failure(api);
             let mut b = txn.broadcast;
             b.offload.clear();
             self.broadcast(api, b);
@@ -597,12 +691,26 @@ impl TorController {
     /// Count one hardware install failure; past the threshold, suspend
     /// offloads for the cooldown (graceful degradation to the software
     /// path — demand keeps being served via the vswitch).
-    fn record_hw_failure(&mut self, now: SimTime) {
+    fn record_hw_failure(&mut self, api: &mut Api<'_, Event, NetCtx>) {
         self.consecutive_install_failures += 1;
         if self.consecutive_install_failures >= self.cfg.ctrl.hw_failure_threshold {
             self.consecutive_install_failures = 0;
-            self.hw_suspended_until = Some(now + self.cfg.ctrl.hw_cooldown);
-            self.hw_suspensions += 1;
+            self.hw_suspended_until = Some(api.now + self.cfg.ctrl.hw_cooldown);
+            api.ctx
+                .telemetry
+                .registry
+                .inc(self.cfg.counters.hw_suspensions);
+            api.ctx.telemetry.flight.record(
+                api.now.as_nanos(),
+                "tor-ctrl",
+                Severity::Warn,
+                "hardware path suspended (install-failure cooldown)",
+                [
+                    self.cfg.ctrl.hw_failure_threshold as u64,
+                    self.cfg.ctrl.hw_cooldown.0,
+                    0,
+                ],
+            );
         }
     }
 
@@ -654,7 +762,10 @@ impl TorController {
             .copied()
             .collect();
         if !stale.is_empty() {
-            self.reconcile_stale_removed += stale.len() as u64;
+            api.ctx.telemetry.registry.add(
+                self.cfg.counters.reconcile_stale_removed,
+                stale.len() as u64,
+            );
             api.send(
                 self.cfg.tor,
                 SimDuration::from_micros(100),
@@ -677,7 +788,10 @@ impl TorController {
             .collect();
         lost.sort();
         if !lost.is_empty() {
-            self.reconcile_lost_demoted += lost.len() as u64;
+            api.ctx
+                .telemetry
+                .registry
+                .add(self.cfg.counters.reconcile_lost_demoted, lost.len() as u64);
             for a in &lost {
                 self.offloaded.remove(a);
                 self.hw.forget(a);
@@ -696,7 +810,17 @@ impl TorController {
 
         let expect = self.installed_spec.len();
         if self.entries_used != expect {
-            self.reconcile_counter_repairs += 1;
+            api.ctx
+                .telemetry
+                .registry
+                .inc(self.cfg.counters.reconcile_counter_repairs);
+            api.ctx.telemetry.flight.record(
+                api.now.as_nanos(),
+                "tor-ctrl",
+                Severity::Warn,
+                "entries_used drift repaired by reconciliation",
+                [self.entries_used as u64, expect as u64, 0],
+            );
             self.entries_used = expect;
         }
     }
@@ -823,7 +947,10 @@ impl Node<Event, NetCtx> for TorController {
                 tag: tags::RECONCILE,
                 ..
             } => {
-                self.reconcile_sweeps += 1;
+                api.ctx
+                    .telemetry
+                    .registry
+                    .inc(self.cfg.counters.reconcile_sweeps);
                 let xid = self.next_xid;
                 self.next_xid += 1;
                 // A still-outstanding previous sweep (dump or reply lost to

@@ -273,17 +273,20 @@ fn lost_install_acks_retry_until_converged() {
     bed.start();
     bed.run_until(SimTime::from_millis(5_300));
 
+    // The controller's fault counters live in the telemetry registry now
+    // (incremented live on the control path, no publish step needed).
+    let reg = &bed.kernel.ctx.telemetry.registry;
+    let timeouts = reg.counter_by_name("ctrl.install_timeouts").unwrap_or(0);
+    let retries = reg.counter_by_name("ctrl.install_retries").unwrap_or(0);
+    assert!(
+        timeouts >= 1,
+        "dropped acks must trip the install timeout, got {timeouts}"
+    );
+    assert!(
+        retries >= 1,
+        "timeouts must trigger retransmits, got {retries}"
+    );
     let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
-    assert!(
-        tc.install_timeouts >= 1,
-        "dropped acks must trip the install timeout, got {}",
-        tc.install_timeouts
-    );
-    assert!(
-        tc.install_retries >= 1,
-        "timeouts must trigger retransmits, got {}",
-        tc.install_retries
-    );
     assert!(
         !tc.offloaded().is_empty(),
         "controller must converge once the loss window lifts"
@@ -460,14 +463,21 @@ fn reconcile_sweep_removes_stale_rules_and_repairs_counters() {
 
     bed.run_until(SimTime::from_millis(3_500));
 
-    let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
-    assert!(tc.reconcile_sweeps >= 1, "sweep must have run");
+    let reg = &bed.kernel.ctx.telemetry.registry;
     assert!(
-        tc.reconcile_stale_removed >= 1,
+        reg.counter_by_name("ctrl.reconcile_sweeps").unwrap_or(0) >= 1,
+        "sweep must have run"
+    );
+    assert!(
+        reg.counter_by_name("ctrl.reconcile_stale_removed")
+            .unwrap_or(0)
+            >= 1,
         "sweep must flag the foreign rule"
     );
     assert!(
-        tc.reconcile_counter_repairs >= 1,
+        reg.counter_by_name("ctrl.reconcile_counter_repairs")
+            .unwrap_or(0)
+            >= 1,
         "sweep must notice the drifted counter"
     );
     assert!(
@@ -506,16 +516,17 @@ fn forced_install_failures_degrade_then_recover() {
     bed.start();
     bed.run_until(SimTime::from_millis(5_300));
 
-    let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
+    let reg = &bed.kernel.ctx.telemetry.registry;
+    let failures = reg.counter_by_name("ctrl.install_failures").unwrap_or(0);
     assert!(
-        tc.install_failures >= 2,
-        "batches inside the window must fail, got {}",
-        tc.install_failures
+        failures >= 2,
+        "batches inside the window must fail, got {failures}"
     );
     assert!(
-        tc.hw_suspensions >= 1,
+        reg.counter_by_name("ctrl.hw_suspensions").unwrap_or(0) >= 1,
         "repeated failures must suspend the hardware path"
     );
+    let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
     assert!(
         !tc.offloaded().is_empty(),
         "offload must resume after the failure window"

@@ -171,6 +171,9 @@ pub struct Server {
     pub stats: ServerStats,
     window_start: SimTime,
     hw_rate_tx: FxHashMap<usize, TokenBucket>,
+    /// Cached "name/vmN" labels so enabled tracing allocates nothing per
+    /// record (the trace ring interns, but `format!` itself would allocate).
+    vm_labels: Vec<String>,
 }
 
 impl Server {
@@ -192,6 +195,7 @@ impl Server {
             window_start: SimTime::ZERO,
             hw_rate_tx: FxHashMap::default(),
             vms: Vec::new(),
+            vm_labels: Vec::new(),
             cfg,
         }
     }
@@ -219,6 +223,7 @@ impl Server {
                 .expect("VF allocation failed");
         }
         self.vms.push(vm);
+        self.vm_labels.push(format!("{}/vm{idx}", self.cfg.name));
         idx
     }
 
@@ -262,6 +267,73 @@ impl Server {
     /// Mutable NIC access.
     pub fn nic_mut(&mut self) -> &mut crate::sriov::SriovNic {
         &mut self.nic
+    }
+
+    /// Mirror this server's datapath state into the telemetry registry:
+    /// drop/frame counters, vswitch cache behaviour, per-VF packet counts,
+    /// and summed guest TCP stats (pull model — nothing on the packet path
+    /// touches the registry; snapshots are published at collection time).
+    pub fn publish_telemetry(&self, reg: &mut fastrak_telemetry::Registry) {
+        let server: &[(&str, &str)] = &[("server", &self.cfg.name)];
+        for (name, v) in [
+            ("host.tx_ring_drops", self.stats.tx_ring_drops),
+            ("host.rx_drops", self.stats.rx_drops),
+            ("host.policy_drops", self.stats.policy_drops),
+            ("host.no_route_drops", self.stats.no_route_drops),
+            ("host.tx_frames.sw", self.stats.tx_sw_frames),
+            ("host.tx_frames.hw", self.stats.tx_hw_frames),
+            ("host.rx_frames", self.stats.rx_frames),
+            ("host.vswitch.fast_path_hits", self.vswitch.fast_path_hits()),
+            ("host.vswitch.slow_path_hits", self.vswitch.slow_path_hits()),
+        ] {
+            let id = reg.counter(name, server);
+            reg.set_counter(id, v);
+        }
+        let dp = reg.gauge("host.vswitch.datapath_entries", server);
+        reg.gauge_set(dp, self.vswitch.datapath_len() as f64);
+        for vf in self.nic.vfs() {
+            let labels: &[(&str, &str)] = &[
+                ("server", &self.cfg.name),
+                ("vm", &self.vm_labels[vf.vm_idx]),
+            ];
+            let tx = reg.counter("host.sriov.tx_packets", labels);
+            reg.set_counter(tx, vf.tx_packets);
+            let rx = reg.counter("host.sriov.rx_packets", labels);
+            reg.set_counter(rx, vf.rx_packets);
+        }
+        let mut tcp = fastrak_transport::tcp::TcpStats::default();
+        let cwnd_id = reg.histogram("tcp.cwnd_bytes", server);
+        for vm in &self.vms {
+            for cid in vm.stack.conn_ids() {
+                let conn = vm.stack.conn(cid);
+                let s = &conn.stats;
+                tcp.segs_tx += s.segs_tx;
+                tcp.segs_rx += s.segs_rx;
+                tcp.acks_tx += s.acks_tx;
+                tcp.dup_acks_rx += s.dup_acks_rx;
+                tcp.fast_retransmits += s.fast_retransmits;
+                tcp.timeouts += s.timeouts;
+                tcp.ooo_segs_rx += s.ooo_segs_rx;
+                tcp.bytes_acked += s.bytes_acked;
+                tcp.bytes_delivered += s.bytes_delivered;
+                tcp.delayed_acks += s.delayed_acks;
+                reg.observe(cwnd_id, conn.cwnd());
+            }
+        }
+        for (name, v) in [
+            ("tcp.segs_tx", tcp.segs_tx),
+            ("tcp.segs_rx", tcp.segs_rx),
+            ("tcp.acks_tx", tcp.acks_tx),
+            ("tcp.dup_acks_rx", tcp.dup_acks_rx),
+            ("tcp.fast_retransmits", tcp.fast_retransmits),
+            ("tcp.timeouts", tcp.timeouts),
+            ("tcp.ooo_segs_rx", tcp.ooo_segs_rx),
+            ("tcp.bytes_acked", tcp.bytes_acked),
+            ("tcp.bytes_delivered", tcp.bytes_delivered),
+        ] {
+            let id = reg.counter(name, server);
+            reg.set_counter(id, v);
+        }
     }
 
     /// Begin a CPU measurement window (paper's "# of CPUs for test").
@@ -519,6 +591,17 @@ impl Server {
         let wire = pkt.wire_bytes_total();
         let (path, _first) = self.vms[vm_idx].placer.place(&pkt.flow, wire);
         pkt.path = path;
+        if api.ctx.telemetry.spans.enabled() {
+            // Path-residency span per (vm, flow): same-path calls are no-ops,
+            // a placement change closes the old span and opens the next one.
+            let spans = &mut api.ctx.telemetry.spans;
+            let comp = spans.comp(&self.vm_labels[vm_idx]);
+            let name = match path {
+                PathTag::SrIov => "sriov",
+                PathTag::Vif | PathTag::Unplaced => "vif",
+            };
+            spans.track_flow_path(api.now.as_nanos(), comp, pkt.flow.trace_hash(), name);
+        }
         match path {
             PathTag::Vif | PathTag::Unplaced => {
                 let r = self.vswitch.process_tx(&pkt.flow, wire);
@@ -639,7 +722,7 @@ impl Server {
             if let L4Meta::Tcp { seq, .. } = pkt.l4 {
                 api.ctx.trace.push(
                     api.now,
-                    self.cfg.name.clone(),
+                    &self.cfg.name,
                     if port == PORT_SW { "tx-sw" } else { "tx-hw" },
                     [pkt.id, seq, pkt.payload as u64],
                 );
@@ -765,7 +848,7 @@ impl Server {
             if let L4Meta::Tcp { seq, .. } = pkt.l4 {
                 api.ctx.trace.push(
                     api.now,
-                    format!("{}/vm{}", self.cfg.name, vm_idx),
+                    &self.vm_labels[vm_idx],
                     "rx",
                     [pkt.id, seq, pkt.payload as u64],
                 );

@@ -86,6 +86,7 @@ pub struct Vswitch {
     /// Per-local-VM rate limiters, indexed like `local_vms`.
     vif_rates: Vec<VifRates>,
     slow_path_hits: u64,
+    fast_path_hits: u64,
 }
 
 impl Vswitch {
@@ -99,6 +100,7 @@ impl Vswitch {
             local_vms: Vec::new(),
             vif_rates: Vec::new(),
             slow_path_hits: 0,
+            fast_path_hits: 0,
         }
     }
 
@@ -139,6 +141,12 @@ impl Vswitch {
         self.slow_path_hits
     }
 
+    /// Datapath cache hits on the tx path (complement of
+    /// [`slow_path_hits`](Self::slow_path_hits)).
+    pub fn fast_path_hits(&self) -> u64 {
+        self.fast_path_hits
+    }
+
     /// Kernel datapath size (exact-match entries).
     pub fn datapath_len(&self) -> usize {
         self.datapath.len()
@@ -155,6 +163,7 @@ impl Vswitch {
     /// `bytes` is the wire byte count to account against the matched flow.
     pub fn process_tx(&mut self, key: &FlowKey, bytes: u64) -> TxResult {
         if let Some(act) = self.datapath.lookup(key, bytes) {
+            self.fast_path_hits += 1;
             return TxResult {
                 verdict: act.verdict,
                 slow_path: false,

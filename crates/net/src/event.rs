@@ -18,6 +18,7 @@ use std::any::Any;
 use fastrak_sim::fault::{FaultConfig, FaultLayer};
 use fastrak_sim::kernel::NodeId;
 use fastrak_sim::trace::TraceRing;
+use fastrak_telemetry::Telemetry;
 
 use crate::packet::Packet;
 
@@ -129,11 +130,15 @@ pub enum Event {
     Ctl(CtlMsg),
 }
 
-/// Shared kernel context: the global trace ring and the packet-id allocator.
+/// Shared kernel context: the global trace ring, the telemetry plane, and
+/// the packet-id allocator.
 #[derive(Debug)]
 pub struct NetCtx {
     /// Global trace ring (receiver-side packet capture, controller events).
     pub trace: TraceRing,
+    /// Observability plane: metrics registry, span log, flight recorder,
+    /// decision audit log. Disabled by default (zero-cost contract).
+    pub telemetry: Telemetry,
     next_packet_id: u64,
 }
 
@@ -141,6 +146,7 @@ impl Default for NetCtx {
     fn default() -> Self {
         NetCtx {
             trace: TraceRing::new(1 << 20),
+            telemetry: Telemetry::default(),
             next_packet_id: 0,
         }
     }

@@ -118,6 +118,7 @@ pub struct Api<'a, E, C> {
     sched: &'a mut SchedImpl<E>,
     next_seq: &'a mut u64,
     fault: &'a mut Option<FaultLayer<E>>,
+    cancels_requested: &'a mut u64,
 }
 
 impl<'a, E, C> Api<'a, E, C> {
@@ -162,6 +163,7 @@ impl<'a, E, C> Api<'a, E, C> {
     /// already fired is a harmless no-op (the wheel's generation stamp — or
     /// the oracle's delivery watermark — proves the event is gone).
     pub fn cancel(&mut self, h: EventHandle) {
+        *self.cancels_requested += 1;
         self.sched.cancel(h);
     }
 }
@@ -174,6 +176,7 @@ pub struct Kernel<E, C> {
     now: SimTime,
     next_seq: u64,
     events_processed: u64,
+    cancels_requested: u64,
     fault: Option<FaultLayer<E>>,
     /// Shared context available to every node during event handling.
     pub ctx: C,
@@ -210,6 +213,7 @@ impl<E, C> Kernel<E, C> {
             now: SimTime::ZERO,
             next_seq: 0,
             events_processed: 0,
+            cancels_requested: 0,
             fault: None,
             ctx,
             rng: Rng::new(seed),
@@ -281,7 +285,14 @@ impl<E, C> Kernel<E, C> {
     /// Cancelling an event that already fired is a no-op and leaves no state
     /// behind.
     pub fn cancel(&mut self, h: EventHandle) {
+        self.cancels_requested += 1;
         self.sched.cancel(h);
+    }
+
+    /// Total cancel requests (including no-op cancels of already-fired
+    /// events) — a telemetry counter, not scheduler state.
+    pub fn cancels_requested(&self) -> u64 {
+        self.cancels_requested
     }
 
     /// Immutable typed access to a node (harness inspection between events).
@@ -360,6 +371,7 @@ impl<E, C> Kernel<E, C> {
                 sched: &mut self.sched,
                 next_seq: &mut self.next_seq,
                 fault: &mut self.fault,
+                cancels_requested: &mut self.cancels_requested,
             };
             node.on_event_obj(ev, &mut api);
         }
@@ -400,6 +412,26 @@ impl<E, C> Kernel<E, C> {
     /// assert the backlog does not leak across long runs.
     pub fn cancelled_backlog(&self) -> usize {
         self.sched.cancelled_backlog()
+    }
+
+    /// Mirror kernel-level counters (and the fault plane's, when attached)
+    /// into a telemetry registry under `sim.*`.
+    ///
+    /// Pull model: called at snapshot time by the harness, so the event loop
+    /// itself carries no registry writes. Values are absolute overwrites —
+    /// the kernel's own fields stay the single source of truth.
+    pub fn publish_telemetry_into(&self, reg: &mut fastrak_telemetry::Registry) {
+        let c = reg.counter("sim.kernel.events_processed", &[]);
+        reg.set_counter(c, self.events_processed);
+        let c = reg.counter("sim.kernel.cancels_requested", &[]);
+        reg.set_counter(c, self.cancels_requested);
+        let g = reg.gauge("sim.kernel.pending_events", &[]);
+        reg.gauge_set(g, self.pending_events() as f64);
+        let g = reg.gauge("sim.kernel.cancelled_backlog", &[]);
+        reg.gauge_set(g, self.cancelled_backlog() as f64);
+        if let Some(plane) = self.fault_plane() {
+            plane.stats.publish_into(reg);
+        }
     }
 }
 
@@ -577,6 +609,25 @@ mod tests {
         k.run_to_completion();
         assert_eq!(k.cancelled_backlog(), 0, "popped tombstones must be pruned");
         assert_eq!(k.pending_events(), 0);
+    }
+
+    #[test]
+    fn publish_telemetry_mirrors_kernel_counters() {
+        let (mut k, a, _) = two_node_kernel();
+        let h = k.post(a, SimTime::from_micros(5), Ev::Ping(0));
+        k.cancel(h);
+        k.post(a, SimTime::ZERO, Ev::Ping(2));
+        k.run_to_completion();
+        let mut reg = fastrak_telemetry::Registry::default();
+        k.publish_telemetry_into(&mut reg);
+        assert_eq!(
+            reg.counter_by_name("sim.kernel.events_processed"),
+            Some(k.events_processed())
+        );
+        assert_eq!(reg.counter_by_name("sim.kernel.cancels_requested"), Some(1));
+        assert_eq!(reg.gauge_by_name("sim.kernel.pending_events"), Some(0.0));
+        // No fault layer attached: no sim.fault.* metrics registered.
+        assert_eq!(reg.counter_by_name("sim.fault.dropped"), None);
     }
 
     #[test]

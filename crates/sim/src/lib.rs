@@ -29,7 +29,6 @@
 
 pub mod cpu;
 pub mod fault;
-pub mod fxhash;
 pub mod kernel;
 pub mod queue;
 pub mod rng;
@@ -39,6 +38,11 @@ pub mod tbf;
 pub mod time;
 pub mod trace;
 
+/// The fast deterministic hasher now lives in `fastrak-telemetry` (the
+/// bottom of the dependency stack); re-exported so `fastrak_sim::fxhash::*`
+/// paths keep working.
+pub use fastrak_telemetry::fxhash;
+
 pub use cpu::CpuPool;
 pub use fault::{FaultConfig, FaultDecision, FaultLayer, FaultPlane, LinkFaults};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
@@ -46,7 +50,7 @@ pub use kernel::{Api, EventHandle, Kernel, Node, NodeId};
 pub use queue::{DropTailQueue, QueueDropStats};
 pub use rng::Rng;
 pub use sched::{BinaryHeapSched, Scheduler, TimingWheel};
-pub use stats::{Counter, FaultCounters, Histogram, MeterRate, TimeWeighted};
+pub use stats::{Counter, FaultCounters, Histogram, HistogramDurationExt, MeterRate, TimeWeighted};
 pub use tbf::TokenBucket;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceRecord, TraceRing};

@@ -9,6 +9,12 @@
 
 use crate::time::{SimDuration, SimTime};
 
+/// The log-bucketed histogram now lives in `fastrak-telemetry` (the metrics
+/// registry owns histograms, and telemetry sits below this crate);
+/// re-exported so `fastrak_sim::stats::Histogram` keeps working. Duration
+/// typed helpers are layered back on via [`HistogramDurationExt`].
+pub use fastrak_telemetry::hist::Histogram;
+
 /// Monotonic event counter with byte accounting.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Counter {
@@ -58,6 +64,28 @@ pub struct FaultCounters {
     pub duplicated: u64,
     /// Hardware rule installs forced to fail by a scripted window.
     pub forced_install_failures: u64,
+}
+
+impl FaultCounters {
+    /// Mirror these counters into a telemetry registry under `sim.fault.*`.
+    ///
+    /// The registry copies are snapshots of this struct (single source of
+    /// truth), so `fault_matrix` output and telemetry exports cannot drift.
+    pub fn publish_into(&self, reg: &mut fastrak_telemetry::Registry) {
+        for (name, v) in [
+            ("sim.fault.inspected", self.inspected),
+            ("sim.fault.dropped", self.dropped),
+            ("sim.fault.delayed", self.delayed),
+            ("sim.fault.duplicated", self.duplicated),
+            (
+                "sim.fault.forced_install_failures",
+                self.forced_install_failures,
+            ),
+        ] {
+            let id = reg.counter(name, &[]);
+            reg.set_counter(id, v);
+        }
+    }
 }
 
 /// Windowed throughput meter: events/sec and bits/sec over explicit windows.
@@ -145,156 +173,32 @@ impl TimeWeighted {
     }
 }
 
-/// Number of sub-buckets per power-of-two bucket; 64 gives a worst-case
-/// relative quantile error of 1/64 ≈ 1.6%.
-const SUB_BUCKETS: u64 = 64;
-const SUB_BITS: u32 = 6;
-/// Bucket count covering values up to 2^40 ns (~18 minutes) with 64
-/// sub-buckets each, plus the linear region below 64.
-const N_BUCKETS: usize =
-    ((40 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize + SUB_BUCKETS as usize;
-
-/// Log-bucketed histogram for non-negative integer samples (latencies in ns).
-#[derive(Clone)]
-pub struct Histogram {
-    buckets: Vec<u32>,
-    count: u64,
-    sum: u128,
-    min: u64,
-    max: u64,
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Histogram {
-            buckets: vec![0; N_BUCKETS],
-            count: 0,
-            sum: 0,
-            min: u64::MAX,
-            max: 0,
-        }
-    }
-
-    fn index(v: u64) -> usize {
-        if v < SUB_BUCKETS {
-            return v as usize;
-        }
-        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
-        let shift = msb - SUB_BITS;
-        let sub = (v >> shift) - SUB_BUCKETS; // in [0, 64)
-        let idx = ((shift as u64 + 1) * SUB_BUCKETS + sub) as usize;
-        idx.min(N_BUCKETS - 1)
-    }
-
-    /// Representative (upper-bound) value for a bucket index.
-    fn value_for(idx: usize) -> u64 {
-        let idx = idx as u64;
-        if idx < SUB_BUCKETS {
-            return idx;
-        }
-        let shift = idx / SUB_BUCKETS - 1;
-        let sub = idx % SUB_BUCKETS;
-        (SUB_BUCKETS + sub) << shift
-    }
-
-    /// Record one sample.
-    pub fn record(&mut self, v: u64) {
-        self.buckets[Self::index(v)] += 1;
-        self.count += 1;
-        self.sum += v as u128;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
+/// Duration-typed convenience layer over the telemetry [`Histogram`]
+/// (samples are interpreted as nanoseconds). The histogram itself is
+/// duration-agnostic — `fastrak-telemetry` cannot name [`SimDuration`] —
+/// so the sim-time view lives here.
+pub trait HistogramDurationExt {
     /// Record a duration sample in nanoseconds.
-    pub fn record_duration(&mut self, d: SimDuration) {
+    fn record_duration(&mut self, d: SimDuration);
+
+    /// Convenience: mean as a `SimDuration` (samples interpreted as ns).
+    fn mean_duration(&self) -> SimDuration;
+
+    /// Convenience: quantile as a `SimDuration`.
+    fn quantile_duration(&self, q: f64) -> SimDuration;
+}
+
+impl HistogramDurationExt for Histogram {
+    fn record_duration(&mut self, d: SimDuration) {
         self.record(d.as_nanos());
     }
 
-    /// Number of samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Exact arithmetic mean of the recorded samples.
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        self.sum as f64 / self.count as f64
-    }
-
-    /// Exact minimum (0 when empty).
-    pub fn min(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.min
-        }
-    }
-
-    /// Exact maximum.
-    pub fn max(&self) -> u64 {
-        self.max
-    }
-
-    /// Approximate quantile `q` in [0,1]; worst-case relative error ~1.6%.
-    pub fn quantile(&self, q: f64) -> u64 {
-        if self.count == 0 {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let target = ((q * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c as u64;
-            if seen >= target {
-                return Self::value_for(i).min(self.max).max(self.min);
-            }
-        }
-        self.max
-    }
-
-    /// Convenience: mean as a `SimDuration` (samples interpreted as ns).
-    pub fn mean_duration(&self) -> SimDuration {
+    fn mean_duration(&self) -> SimDuration {
         SimDuration(self.mean().round() as u64)
     }
 
-    /// Convenience: quantile as a `SimDuration`.
-    pub fn quantile_duration(&self, q: f64) -> SimDuration {
+    fn quantile_duration(&self, q: f64) -> SimDuration {
         SimDuration(self.quantile(q))
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += *b;
-        }
-        self.count += other.count;
-        self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-    }
-}
-
-impl std::fmt::Debug for Histogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Histogram(n={}, mean={:.1}, p50={}, p99={}, max={})",
-            self.count,
-            self.mean(),
-            self.quantile(0.5),
-            self.quantile(0.99),
-            self.max
-        )
     }
 }
 
@@ -349,64 +253,36 @@ mod tests {
     }
 
     #[test]
-    fn histogram_small_values_exact() {
+    fn histogram_duration_ext_roundtrips_nanos() {
+        // Bucket math lives (and is tested) in fastrak-telemetry; this
+        // covers the SimDuration view layered on top.
         let mut h = Histogram::new();
-        for v in 0..64 {
-            h.record(v);
-        }
-        assert_eq!(h.min(), 0);
-        assert_eq!(h.max(), 63);
-        assert_eq!(h.quantile(0.5), 31);
+        h.record_duration(SimDuration(10));
+        h.record_duration(SimDuration(30));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean_duration(), SimDuration(20));
+        assert_eq!(h.quantile_duration(1.0), SimDuration(30));
     }
 
     #[test]
-    fn histogram_mean_exact() {
-        let mut h = Histogram::new();
-        h.record(1_000);
-        h.record(3_000);
-        assert!((h.mean() - 2000.0).abs() < 1e-9);
-        assert_eq!(h.mean_duration(), SimDuration(2000));
-    }
-
-    #[test]
-    fn histogram_quantile_bounded_error() {
-        let mut h = Histogram::new();
-        // Uniform samples 1..=100_000.
-        for v in 1..=100_000u64 {
-            h.record(v);
-        }
-        for &(q, expect) in &[(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
-            let got = h.quantile(q) as f64;
-            let err = (got - expect).abs() / expect;
-            assert!(err < 0.02, "q{q}: got {got} expect {expect} err {err}");
-        }
-    }
-
-    #[test]
-    fn histogram_empty() {
-        let h = Histogram::new();
-        assert_eq!(h.quantile(0.99), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.min(), 0);
-    }
-
-    #[test]
-    fn histogram_merge() {
-        let mut a = Histogram::new();
-        let mut b = Histogram::new();
-        a.record(10);
-        b.record(1_000_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.min(), 10);
-        assert_eq!(a.max(), 1_000_000);
-    }
-
-    #[test]
-    fn histogram_huge_values_do_not_panic() {
-        let mut h = Histogram::new();
-        h.record(u64::MAX);
-        assert_eq!(h.max(), u64::MAX);
-        assert!(h.quantile(1.0) > 0);
+    fn fault_counters_publish_snapshots_into_registry() {
+        let mut reg = fastrak_telemetry::Registry::default();
+        let mut fc = FaultCounters {
+            inspected: 10,
+            dropped: 3,
+            delayed: 2,
+            duplicated: 1,
+            forced_install_failures: 4,
+        };
+        fc.publish_into(&mut reg);
+        assert_eq!(reg.counter_by_name("sim.fault.dropped"), Some(3));
+        // Re-publishing overwrites (snapshot semantics, no double counting).
+        fc.dropped = 5;
+        fc.publish_into(&mut reg);
+        assert_eq!(reg.counter_by_name("sim.fault.dropped"), Some(5));
+        assert_eq!(
+            reg.counter_by_name("sim.fault.forced_install_failures"),
+            Some(4)
+        );
     }
 }

@@ -5,8 +5,18 @@
 //! Components push [`TraceRecord`]s; the harness drains them after a run.
 //! The ring is bounded so a long experiment cannot exhaust memory, and
 //! tracing is off by default (zero cost on the packet path beyond a branch).
+//!
+//! Component names are interned ([`Istr`]): the old `who: String` field
+//! cloned an allocation per pushed record, which at packet rate dominated
+//! the cost of enabled tracing. Now the first push of a given name allocates
+//! once and every later push is a ref-count bump. [`Istr`] derefs to `str`,
+//! so consumers (`starts_with`, `as_bytes`, equality against literals) are
+//! unchanged.
 
 use std::collections::VecDeque;
+
+use fastrak_telemetry::intern::Interner;
+pub use fastrak_telemetry::intern::Istr;
 
 use crate::time::SimTime;
 
@@ -15,8 +25,8 @@ use crate::time::SimTime;
 pub struct TraceRecord {
     /// When it happened.
     pub at: SimTime,
-    /// Component that recorded it (free-form, e.g. "tor0", "vm2/tcp").
-    pub who: String,
+    /// Component that recorded it (interned, e.g. "tor0", "vm2/tcp").
+    pub who: Istr,
     /// Event kind tag, e.g. "tx", "rx", "offload", "demote".
     pub kind: &'static str,
     /// Up to three numeric attributes (seq number, bytes, flow hash, ...).
@@ -27,6 +37,7 @@ pub struct TraceRecord {
 #[derive(Debug)]
 pub struct TraceRing {
     records: VecDeque<TraceRecord>,
+    interner: Interner,
     capacity: usize,
     enabled: bool,
     dropped: u64,
@@ -38,6 +49,7 @@ impl TraceRing {
         assert!(capacity > 0);
         TraceRing {
             records: VecDeque::with_capacity(capacity.min(4096)),
+            interner: Interner::default(),
             capacity,
             enabled: false,
             dropped: 0,
@@ -54,14 +66,9 @@ impl TraceRing {
         self.enabled
     }
 
-    /// Record an event (drops the oldest record when full).
-    pub fn push(
-        &mut self,
-        at: SimTime,
-        who: impl Into<String>,
-        kind: &'static str,
-        vals: [u64; 3],
-    ) {
+    /// Record an event (drops the oldest record when full). `who` is
+    /// interned: pass `&str` — repeated names cost no allocation.
+    pub fn push(&mut self, at: SimTime, who: impl AsRef<str>, kind: &'static str, vals: [u64; 3]) {
         if !self.enabled {
             return;
         }
@@ -71,7 +78,7 @@ impl TraceRing {
         }
         self.records.push_back(TraceRecord {
             at,
-            who: who.into(),
+            who: self.interner.intern(who.as_ref()),
             kind,
             vals,
         });
@@ -102,7 +109,8 @@ impl TraceRing {
         self.records.is_empty()
     }
 
-    /// Drain all records, oldest first.
+    /// Drain all records, oldest first (the interner is retained, so a
+    /// later push of the same component stays allocation-free).
     pub fn drain(&mut self) -> Vec<TraceRecord> {
         self.records.drain(..).collect()
     }
@@ -161,5 +169,19 @@ mod tests {
         let drained = r.drain();
         assert_eq!(drained.len(), 1);
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn who_is_interned_not_cloned() {
+        let mut r = TraceRing::new(8);
+        r.set_enabled(true);
+        r.push(SimTime::ZERO, "s1/vm0", "tx", [0; 3]);
+        r.push(SimTime::ZERO, String::from("s1/vm0"), "rx", [0; 3]);
+        let recs: Vec<_> = r.records().collect();
+        // Same interned string: both records share one allocation, and the
+        // str-like API (starts_with / equality) still works.
+        assert_eq!(recs[0].who, recs[1].who);
+        assert!(recs[0].who.starts_with("s1"));
+        assert_eq!(recs[1].who, "s1/vm0");
     }
 }

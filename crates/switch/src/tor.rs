@@ -103,6 +103,15 @@ pub struct TorStats {
     pub gre_encaps: u64,
     /// GRE decapsulations performed.
     pub gre_decaps: u64,
+    /// `InstallTorRules` batches applied atomically and acked.
+    pub install_batches_ok: u64,
+    /// `InstallTorRules` batches rejected (fault-forced or memory-full);
+    /// every rejection rolled back this batch's fresh installs.
+    pub install_batches_rejected: u64,
+    /// Individual ACL rules installed (idempotent re-installs excluded).
+    pub rules_installed: u64,
+    /// Individual ACL rules removed (controller demotes + rollbacks).
+    pub rules_removed: u64,
 }
 
 /// What a port is wired to.
@@ -239,6 +248,7 @@ impl Tor {
             },
         )?;
         self.fastpath_used += 1;
+        self.stats.rules_installed += 1;
         Ok(())
     }
 
@@ -250,6 +260,7 @@ impl Tor {
         };
         let n = vrf.remove_spec(spec);
         self.fastpath_used -= n;
+        self.stats.rules_removed += n as u64;
         n
     }
 
@@ -327,6 +338,39 @@ impl Tor {
             }
         }
         out
+    }
+
+    /// Mirror switch counters and fast-path occupancy into the telemetry
+    /// registry (pull model; called at collection time, never per-frame).
+    pub fn publish_telemetry(&self, reg: &mut fastrak_telemetry::Registry) {
+        let tor: &[(&str, &str)] = &[("tor", &self.cfg.name)];
+        for (name, v) in [
+            ("tor.acl_drops", self.stats.acl_drops),
+            ("tor.fwd_drops", self.stats.fwd_drops),
+            ("tor.hw_frames", self.stats.hw_frames),
+            ("tor.sw_frames", self.stats.sw_frames),
+            ("tor.gre_encaps", self.stats.gre_encaps),
+            ("tor.gre_decaps", self.stats.gre_decaps),
+            ("tor.install_batches_ok", self.stats.install_batches_ok),
+            (
+                "tor.install_batches_rejected",
+                self.stats.install_batches_rejected,
+            ),
+            ("tor.rules_installed", self.stats.rules_installed),
+            ("tor.rules_removed", self.stats.rules_removed),
+        ] {
+            let id = reg.counter(name, tor);
+            reg.set_counter(id, v);
+        }
+        for (name, v) in [
+            ("tor.fastpath.acl_rules", self.acl_rules() as f64),
+            ("tor.fastpath.tunnel_entries", self.tunnel_entries() as f64),
+            ("tor.fastpath.used", self.fastpath_used as f64),
+            ("tor.fastpath.free", self.fastpath_free() as f64),
+        ] {
+            let id = reg.gauge(name, tor);
+            reg.gauge_set(id, v);
+        }
     }
 
     /// Configure a hardware rate limit.
@@ -583,9 +627,13 @@ impl Tor {
                         for (tenant, spec) in &installed {
                             self.remove_rule(*tenant, spec);
                         }
+                        self.stats.install_batches_rejected += 1;
                         CtrlReply::Error { xid, reason }
                     }
-                    None => CtrlReply::Ack { xid },
+                    None => {
+                        self.stats.install_batches_ok += 1;
+                        CtrlReply::Ack { xid }
+                    }
                 };
                 api.send(
                     from,

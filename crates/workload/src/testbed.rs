@@ -288,4 +288,22 @@ impl Testbed {
             self.kernel.node_mut::<Server>(sid).begin_cpu_window(now);
         }
     }
+
+    /// Snapshot every layer's counters into the telemetry registry: kernel
+    /// event/fault counters, per-server host/TCP stats, and ToR occupancy.
+    /// Pull-model publication — call once per collection point (end of run
+    /// or periodic sample); hot paths never touch the registry.
+    pub fn publish_telemetry(&mut self) {
+        // The registry lives inside kernel.ctx while nodes also live inside
+        // the kernel, so take it out for the duration of the walk.
+        let mut reg = std::mem::take(&mut self.kernel.ctx.telemetry.registry);
+        self.kernel.publish_telemetry_into(&mut reg);
+        for &sid in &self.servers {
+            self.kernel.node::<Server>(sid).publish_telemetry(&mut reg);
+        }
+        self.kernel
+            .node::<Tor>(self.tor)
+            .publish_telemetry(&mut reg);
+        self.kernel.ctx.telemetry.registry = reg;
+    }
 }

@@ -56,16 +56,23 @@ fn digest_trace(records: &[fastrak_sim::trace::TraceRecord]) -> u64 {
 }
 
 fn run_scenario(seed: u64) -> Fingerprint {
-    run_scenario_with(seed, None)
+    run_scenario_full(seed, None, false)
 }
 
 fn run_scenario_with(seed: u64, faults: Option<FaultConfig>) -> Fingerprint {
+    run_scenario_full(seed, faults, false)
+}
+
+fn run_scenario_full(seed: u64, faults: Option<FaultConfig>, telemetry: bool) -> Fingerprint {
     let mut bed = Testbed::build(TestbedConfig {
         n_servers: 3,
         seed,
         ..TestbedConfig::default()
     });
     bed.kernel.ctx.trace.set_enabled(true);
+    if telemetry {
+        bed.kernel.ctx.telemetry.enable_all();
+    }
     if let Some(cfg) = faults {
         bed.kernel.set_fault_layer(ctl_fault_layer(cfg));
     }
@@ -214,6 +221,43 @@ fn zero_probability_fault_plane_is_invisible() {
         }),
     );
     assert_eq!(a, b, "an all-zero fault plane must be invisible");
+}
+
+#[test]
+fn telemetry_fully_enabled_is_invisible_to_the_event_stream() {
+    // The observability plane's zero-cost contract: spans, flight recorder,
+    // and audit log all on must leave the simulation bit-identical — the
+    // telemetry plane never schedules events and never consumes sim RNG.
+    let a = run_scenario(42);
+    let b = run_scenario_full(42, None, true);
+    assert_eq!(a, b, "enabled telemetry must not perturb the event stream");
+    // And the span log actually captured path-residency data, so the
+    // equality above is not vacuous.
+    let mut bed = Testbed::build(TestbedConfig {
+        n_servers: 2,
+        ..TestbedConfig::default()
+    });
+    bed.kernel.ctx.telemetry.enable_all();
+    bed.add_vm(
+        0,
+        VmSpec::large("src", T, Ip::tenant_vm(1)),
+        Box::new(StreamSender::new(StreamConfig::netperf(
+            Ip::tenant_vm(2),
+            5001,
+            32_000,
+        ))),
+    );
+    bed.add_vm(1, VmSpec::large("sink", T, Ip::tenant_vm(2)), {
+        Box::new(StreamSink::new(5001))
+    });
+    bed.start();
+    bed.run_until(SimTime::from_millis(200));
+    let now = bed.now().as_nanos();
+    bed.kernel.ctx.telemetry.spans.finish(now);
+    assert!(
+        !bed.kernel.ctx.telemetry.spans.spans().is_empty(),
+        "enabled span log must record flow path residency"
+    );
 }
 
 #[test]

@@ -1,0 +1,71 @@
+//! Telemetry export round-trips: the Chrome trace emitted for the Fig. 12
+//! flow migration must parse back through `fastrak_bench::json` and show
+//! the software→hardware residency handoff with matching sim-time bounds.
+
+use fastrak_bench::experiments::fig12;
+use fastrak_bench::json::{self, Value};
+
+fn field_num(e: &Value, key: &str) -> Option<f64> {
+    e.get(key).and_then(Value::as_num)
+}
+
+fn field_str<'a>(e: &'a Value, key: &str) -> Option<&'a str> {
+    e.get(key).and_then(Value::as_str)
+}
+
+#[test]
+fn fig12_chrome_trace_round_trips_with_the_offload_span() {
+    let trace = fig12::chrome_trace_json(false);
+    let doc = json::parse(&trace).expect("chrome trace must be valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must contain events");
+
+    // Every component track is named via process_name metadata.
+    assert!(
+        events.iter().any(
+            |e| field_str(e, "ph") == Some("M") && field_str(e, "name") == Some("process_name")
+        ),
+        "trace must carry process_name metadata"
+    );
+
+    fn complete<'a>(events: &'a [Value], name: &'a str) -> impl Iterator<Item = &'a Value> {
+        events
+            .iter()
+            .filter(move |e| field_str(e, "ph") == Some("X") && field_str(e, "name") == Some(name))
+    }
+    let sriov: Vec<&Value> = complete(events, "sriov").collect();
+    assert!(
+        !sriov.is_empty(),
+        "the t=1s migration must open an sriov residency span"
+    );
+
+    // The offload happens at t = 1 s of sim time; ts is microseconds.
+    let sr_ts = field_num(sriov[0], "ts").expect("sriov span ts");
+    let sr_dur = field_num(sriov[0], "dur").expect("sriov span dur");
+    assert!(
+        sr_ts >= 1_000_000.0,
+        "sriov residency must start at/after the 1 s shift, got {sr_ts} µs"
+    );
+    assert!(sr_dur > 0.0, "sriov residency must have positive duration");
+
+    // Matching sim-time bounds: on the same (pid, tid) track the preceding
+    // vif span closes at the exact instant the sriov span opens — the
+    // placer flip is one atomic path change.
+    let pid = field_num(sriov[0], "pid").expect("pid");
+    let tid = field_num(sriov[0], "tid").expect("tid");
+    let vif_end_matches = complete(events, "vif").any(|e| {
+        field_num(e, "pid") == Some(pid)
+            && field_num(e, "tid") == Some(tid)
+            && (field_num(e, "ts").unwrap_or(f64::NAN) + field_num(e, "dur").unwrap_or(f64::NAN)
+                - sr_ts)
+                .abs()
+                < 1e-6
+    });
+    assert!(
+        vif_end_matches,
+        "a vif span must end exactly where the sriov span begins (pid={pid}, tid={tid}, ts={sr_ts})"
+    );
+}
