@@ -8,6 +8,7 @@
 use std::collections::HashSet;
 
 use fastrak::de::{DeConfig, DecisionEngine};
+use fastrak::de_inc::{IncrementalDecisionEngine, ShardEpoch, ShardedDecisionEngine};
 use fastrak::fps::{fps_split, FpsConfig, FpsInput};
 use fastrak::me::{AggDemand, MeasurementEngine};
 use fastrak::rules::RuleManager;
@@ -50,6 +51,95 @@ fn demands(n: usize) -> Vec<AggDemand> {
         .collect()
 }
 
+/// Rotating delta batches for the incremental-engine benches: the row space
+/// is cut into up to 8 disjoint churn-sized groups, and each group cycles
+/// through four distinct re-pricing factors, so every application of a batch
+/// really moves scores (same-score upserts are not deltas).
+fn delta_batches(base: &[AggDemand], churn: usize) -> Vec<Vec<AggDemand>> {
+    let n = base.len();
+    let groups = (n / churn).clamp(1, 8);
+    let factors = [0.85f64, 1.1, 0.95, 1.2];
+    let mut batches = Vec::with_capacity(groups * factors.len());
+    for f in factors {
+        for g in 0..groups {
+            batches.push(
+                (0..churn)
+                    .map(|j| {
+                        let mut row = base[(g * churn + j) % n];
+                        row.m_pps *= f;
+                        row.pps *= f;
+                        row
+                    })
+                    .collect(),
+            );
+        }
+    }
+    batches
+}
+
+/// Steady-state incremental epochs: warm index, fixed offloaded set, each
+/// iteration ingests one churn batch and decides.
+fn bench_incremental(s: &mut Suite, n: usize, churn_pct: usize, name: &str) {
+    let d = demands(n);
+    let mut inc = IncrementalDecisionEngine::new(DeConfig::paper());
+    inc.ingest_snapshot(&d);
+    let offloaded: HashSet<FlowAggregate> = inc
+        .decide(&HashSet::new(), 256)
+        .target
+        .into_iter()
+        .collect();
+    let churn = (n * churn_pct / 100).max(1);
+    let batches = delta_batches(&d, churn);
+    let mut epoch = 0usize;
+    s.bench(name, || {
+        let batch = &batches[epoch % batches.len()];
+        epoch += 1;
+        inc.ingest(black_box(batch), &[]);
+        black_box(inc.decide(&offloaded, 256));
+    });
+}
+
+/// One fleet control epoch: every rack ingests its 1% churn batch and
+/// decides, fanned out across scoped threads.
+fn bench_sharded(s: &mut Suite, shards: usize, total_aggs: usize) {
+    let per_shard = total_aggs / shards;
+    let churn = (per_shard / 100).max(1);
+    let mut fleet = ShardedDecisionEngine::new(&DeConfig::paper(), shards);
+    let mut offloaded: Vec<HashSet<FlowAggregate>> = Vec::with_capacity(shards);
+    let mut batches: Vec<Vec<Vec<AggDemand>>> = Vec::with_capacity(shards);
+    for sh in 0..shards {
+        // Disjoint per-rack aggregate spaces (offset into the flow space).
+        let d: Vec<AggDemand> = ((sh * per_shard) as u32..((sh + 1) * per_shard) as u32)
+            .map(|i| AggDemand {
+                agg: FlowAggregate::dst_of(&flow(i)),
+                pps: (i as f64 * 17.0) % 50_000.0,
+                bps: 1e6,
+                n_active: 1 + i % 6,
+                m_pps: (i as f64 * 13.0) % 40_000.0,
+                m_bps: 1e6,
+            })
+            .collect();
+        fleet.shard_mut(sh).ingest_snapshot(&d);
+        let target = fleet.shard_mut(sh).decide(&HashSet::new(), 256).target;
+        offloaded.push(target.into_iter().collect());
+        batches.push(delta_batches(&d, churn));
+    }
+    let mut epoch = 0usize;
+    let name = format!("decision_engine_sharded/shards/{shards}/aggregates/{total_aggs}");
+    s.bench(&name, || {
+        let epochs: Vec<ShardEpoch<'_>> = (0..shards)
+            .map(|sh| ShardEpoch {
+                changed: &batches[sh][epoch % batches[sh].len()],
+                removed: &[],
+                offloaded: &offloaded[sh],
+                budget: 256,
+            })
+            .collect();
+        epoch += 1;
+        black_box(fleet.decide_all(black_box(&epochs)));
+    });
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut s = Suite::new("controller");
@@ -67,14 +157,42 @@ fn main() {
         });
     }
 
-    for &n in &[100usize, 1_000, 10_000] {
+    // The production engine: incremental top-k, fed per-epoch demand deltas
+    // (steady state: the index is warm, the offloaded set is the first
+    // decide's target, and each epoch re-prices a churn fraction of rows).
+    for &n in &[100usize, 1_000, 10_000, 100_000] {
+        bench_incremental(
+            &mut s,
+            n,
+            1,
+            &format!("decision_engine_decide/aggregates/{n}"),
+        );
+    }
+
+    // Churn sensitivity at fleet scale: per-epoch cost should track the
+    // delta count, not the aggregate count.
+    for &(pct, tag) in &[(1usize, "1pct"), (10, "10pct"), (100, "100pct")] {
+        bench_incremental(
+            &mut s,
+            100_000,
+            pct,
+            &format!("decision_engine_decide_churn/100000/{tag}"),
+        );
+    }
+
+    // The retained full-scan oracle (`full-scan-de` feature): re-ranks the
+    // world every epoch. Kept benched so the curves stay comparable.
+    for &n in &[100usize, 1_000, 10_000, 100_000] {
         let d = demands(n);
         let de = DecisionEngine::new(DeConfig::paper());
         let offloaded: HashSet<FlowAggregate> = d.iter().take(n / 10).map(|x| x.agg).collect();
-        s.bench(&format!("decision_engine_decide/aggregates/{n}"), || {
+        s.bench(&format!("decision_engine_full_scan/aggregates/{n}"), || {
             black_box(de.decide(black_box(&d), &offloaded, 256));
         });
     }
+
+    // Per-ToR sharded fleet epoch: 8 racks scored in parallel.
+    bench_sharded(&mut s, 8, 100_000);
 
     {
         let rm = RuleManager::new();

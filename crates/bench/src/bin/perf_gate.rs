@@ -8,9 +8,13 @@
 //! regressions, not percent-level drift. Benches present on only one side
 //! (new or retired) are reported but never fail the gate.
 //!
+//! Absolute ceilings (repeatable `--ceiling suite/bench=ns`) complement the
+//! ratio gate: they pin a hard budget on headline benches regardless of what
+//! the baseline drifts to, and fail if the bench was not run at all.
+//!
 //! Usage:
 //!   perf_gate --baseline BENCH_baseline.json --current bench.json \
-//!             [--max-ratio 2.0]
+//!             [--max-ratio 2.0] [--ceiling suite/bench=ns]...
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -65,6 +69,7 @@ fn main() -> ExitCode {
     let mut baseline_path = "BENCH_baseline.json".to_string();
     let mut current_path = String::new();
     let mut max_ratio = 2.0f64;
+    let mut ceilings: Vec<((String, String), f64)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut grab = |name: &str| {
@@ -75,6 +80,19 @@ fn main() -> ExitCode {
             "--baseline" => baseline_path = grab("--baseline"),
             "--current" => current_path = grab("--current"),
             "--max-ratio" => max_ratio = grab("--max-ratio").parse().expect("numeric --max-ratio"),
+            "--ceiling" => {
+                let spec = grab("--ceiling");
+                let (name, ns) = spec
+                    .rsplit_once('=')
+                    .expect("--ceiling expects suite/bench=ns");
+                let (suite, bench) = name
+                    .split_once('/')
+                    .expect("--ceiling expects suite/bench=ns");
+                ceilings.push((
+                    (suite.to_string(), bench.to_string()),
+                    ns.parse().expect("numeric ceiling ns"),
+                ));
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 return ExitCode::FAILURE;
@@ -120,6 +138,23 @@ fn main() -> ExitCode {
     for key in baseline.keys() {
         if !current.contains_key(key) {
             println!("{:<44} (not run this time)", format!("{}/{}", key.0, key.1));
+        }
+    }
+
+    for ((suite, bench), ceil) in &ceilings {
+        let name = format!("{suite}/{bench}");
+        match current.get(&(suite.clone(), bench.clone())) {
+            Some(&cur) if cur <= *ceil => {
+                println!("ceiling  {name:<35} {cur:>10.1}ns <= {ceil:.0}ns OK");
+            }
+            Some(&cur) => {
+                regressed += 1;
+                println!("ceiling  {name:<35} {cur:>10.1}ns > {ceil:.0}ns EXCEEDED");
+            }
+            None => {
+                regressed += 1;
+                println!("ceiling  {name:<35} NOT RUN (required)");
+            }
         }
     }
 

@@ -12,6 +12,7 @@ use std::collections::{HashMap, HashSet};
 
 use fastrak_net::addr::TenantId;
 use fastrak_net::flow::FlowAggregate;
+use fastrak_sim::FxHashMap;
 
 use crate::me::AggDemand;
 
@@ -45,6 +46,35 @@ impl DeConfig {
             groups: Vec::new(),
         }
     }
+
+    /// The paper's ranking function `S = n × m_pps × c`, shared by the
+    /// full-scan and incremental engines so their orders agree exactly.
+    pub fn score(&self, d: &AggDemand) -> f64 {
+        let c = self
+            .tenant_priority
+            .get(&d.agg.tenant())
+            .copied()
+            .unwrap_or(1.0);
+        d.n_active as f64 * d.m_pps * c
+    }
+
+    /// An aggregate is eligible for ranking when its median rate clears the
+    /// pps floor and its score is positive (both engines apply this filter).
+    pub fn eligible(&self, d: &AggDemand) -> bool {
+        d.m_pps >= self.min_median_pps && self.score(d) > 0.0
+    }
+
+    /// Precompute the aggregate→group index (first containing group wins,
+    /// matching the old linear `Vec::contains` scan order).
+    pub(crate) fn group_index(&self) -> FxHashMap<FlowAggregate, usize> {
+        let mut idx = FxHashMap::default();
+        for (gi, g) in self.groups.iter().enumerate() {
+            for a in g {
+                idx.entry(*a).or_insert(gi);
+            }
+        }
+        idx
+    }
 }
 
 /// The outcome of one decision round.
@@ -67,28 +97,30 @@ pub struct Scored {
     pub score: f64,
 }
 
-/// The decision engine.
+/// The full-scan decision engine: re-ranks the world every round. Retained
+/// as the differential oracle for [`crate::de_inc::IncrementalDecisionEngine`]
+/// (and selected for the controller by the `full-scan-de` feature, mirroring
+/// the scheduler's `heap-sched` pattern).
 #[derive(Debug)]
 pub struct DecisionEngine {
     /// Configuration.
     pub cfg: DeConfig,
+    /// Aggregate → index into `cfg.groups` (first containing group wins),
+    /// built once so group membership is an O(1) probe instead of a linear
+    /// scan over every group per ranked item.
+    group_idx: FxHashMap<FlowAggregate, usize>,
 }
 
 impl DecisionEngine {
     /// Build from config.
     pub fn new(cfg: DeConfig) -> DecisionEngine {
-        DecisionEngine { cfg }
+        let group_idx = cfg.group_index();
+        DecisionEngine { cfg, group_idx }
     }
 
     /// The paper's ranking function.
     pub fn score(&self, d: &AggDemand) -> f64 {
-        let c = self
-            .cfg
-            .tenant_priority
-            .get(&d.agg.tenant())
-            .copied()
-            .unwrap_or(1.0);
-        d.n_active as f64 * d.m_pps * c
+        self.cfg.score(d)
     }
 
     /// Score all demands, descending.
@@ -114,11 +146,9 @@ impl DecisionEngine {
     }
 
     fn group_of(&self, agg: &FlowAggregate) -> Option<&[FlowAggregate]> {
-        self.cfg
-            .groups
-            .iter()
-            .find(|g| g.contains(agg))
-            .map(|g| g.as_slice())
+        self.group_idx
+            .get(agg)
+            .map(|&gi| self.cfg.groups[gi].as_slice())
     }
 
     /// Decide the hardware set.
@@ -171,35 +201,40 @@ impl DecisionEngine {
         // Apply hysteresis at the boundary: if an incumbent fell just
         // outside the target while a newcomer squeaked in with less than
         // `hysteresis` advantage, keep the incumbent instead (avoids rule
-        // churn when scores are noisy).
+        // churn when scores are noisy). The best displaced incumbent is the
+        // same for every newcomer (neither `target` nor `offloaded` changes
+        // during the pass), so it is computed once — the old per-newcomer
+        // rescan of `offloaded` with a `target.contains` probe inside was
+        // O(|target|·|offloaded|·|target|). Score ties between displaced
+        // incumbents break toward the smaller aggregate (the one `rank`
+        // orders first); the old `max_by` over a `HashSet` left ties to
+        // iteration order, i.e. nondeterministic.
+        let target_set: HashSet<FlowAggregate> = target.iter().copied().collect();
         if self.cfg.hysteresis > 1.0 {
             let score_of: HashMap<FlowAggregate, f64> =
                 ranked.iter().map(|s| (s.agg, s.score)).collect();
-            let mut stable = target.clone();
-            for (i, t) in target.iter().enumerate() {
-                if offloaded.contains(t) {
-                    continue; // already in hardware: no churn
-                }
-                // Find the best demoted incumbent this newcomer displaced.
-                let displaced: Option<&FlowAggregate> = offloaded
-                    .iter()
-                    .filter(|o| !target.contains(o))
-                    .max_by(|a, b| {
-                        let sa = score_of.get(*a).copied().unwrap_or(0.0);
-                        let sb = score_of.get(*b).copied().unwrap_or(0.0);
-                        sa.partial_cmp(&sb).unwrap()
-                    });
-                if let Some(inc) = displaced {
-                    let s_new = score_of.get(t).copied().unwrap_or(0.0);
-                    let s_inc = score_of.get(inc).copied().unwrap_or(0.0);
-                    if s_inc > 0.0 && s_new < self.cfg.hysteresis * s_inc {
-                        stable[i] = *inc;
+            let displaced: Option<(f64, FlowAggregate)> = offloaded
+                .iter()
+                .filter(|o| !target_set.contains(o))
+                .map(|o| (score_of.get(o).copied().unwrap_or(0.0), *o))
+                .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| b.1.cmp(&a.1)));
+            if let Some((s_inc, inc)) = displaced {
+                if s_inc > 0.0 {
+                    let mut stable = target.clone();
+                    for (i, t) in target.iter().enumerate() {
+                        if offloaded.contains(t) {
+                            continue; // already in hardware: no churn
+                        }
+                        let s_new = score_of.get(t).copied().unwrap_or(0.0);
+                        if s_new < self.cfg.hysteresis * s_inc {
+                            stable[i] = inc;
+                        }
                     }
+                    // De-duplicate while preserving order.
+                    let mut seen = HashSet::new();
+                    target = stable.into_iter().filter(|a| seen.insert(*a)).collect();
                 }
             }
-            // De-duplicate while preserving order.
-            let mut seen = HashSet::new();
-            target = stable.into_iter().filter(|a| seen.insert(*a)).collect();
         }
 
         let target_set: HashSet<FlowAggregate> = target.iter().copied().collect();

@@ -1,0 +1,566 @@
+//! Incremental decision engine: near-linear epochs at fleet scale.
+//!
+//! The full-scan [`DecisionEngine`](crate::de::DecisionEngine) re-ranks the
+//! world every round — a sort over every active aggregate plus a boundary
+//! hysteresis pass — which goes superlinear in the aggregate count (99 µs at
+//! 100 aggregates, 68.9 ms at 10 k in `BENCH_baseline.json`). The paper's
+//! §4.3.2 ranking only needs the *top-k by budget*, not a total order, and
+//! between epochs almost nothing moves: demand medians are stable by
+//! construction (they are medians over N×M epochs).
+//!
+//! [`IncrementalDecisionEngine`] therefore keeps a **persistent score
+//! index** between rounds:
+//!
+//! * `scores` — a dense FxHash aggregate→score index (the authoritative
+//!   membership set, mirroring the full-scan engine's eligibility filter);
+//! * `ord` — a score-ordered [`BTreeSet`] of [`OrdKey`]s whose ascending
+//!   order is exactly the full-scan `rank` order (score descending, then
+//!   aggregate ascending), so walking it from the front reproduces the
+//!   oracle's greedy selection bit for bit.
+//!
+//! Each epoch the measurement plane feeds only the **demand deltas**
+//! (changed/new/expired aggregates); a delta costs one hash probe plus at
+//! most two `O(log n)` ordered-index edits. `decide` then walks the top of
+//! the order until the budget is filled — `O(k)` for the walk plus `O(k)`
+//! for the hysteresis band and demotion sweep — so a low-churn epoch costs
+//! `O(Δ·log n + k)` regardless of how many aggregates exist.
+//!
+//! **Band semantics.** Hysteresis is a score *band* at the k-th boundary:
+//! with factor `h`, the best-scoring displaced incumbent `inc` suppresses
+//! every newcomer whose score falls inside `[0, h·S(inc))` — those
+//! band-crossers keep `inc` offloaded instead of churning rules. This is
+//! exactly the full-scan pass's semantics (the displaced incumbent there is
+//! loop-invariant), with one documented refinement shared by both engines:
+//! score ties between displaced incumbents break toward the smaller
+//! aggregate, where the old code left ties to `HashSet` iteration order.
+//!
+//! [`ShardedDecisionEngine`] runs one independent engine per ToR: rack
+//! decisions share no state (each rack has its own budget and offloaded
+//! set), so a fleet controller scores racks in parallel with scoped threads
+//! and still gets deterministic, shard-ordered results.
+
+use std::collections::{BTreeSet, HashSet};
+
+use fastrak_net::flow::FlowAggregate;
+use fastrak_sim::FxHashMap;
+
+use crate::de::{DeConfig, Decision};
+use crate::me::AggDemand;
+
+/// Ordered-index key. `BTreeSet`'s ascending order must equal the full-scan
+/// `rank` order (score descending, aggregate ascending), so the score is
+/// stored as the bitwise NOT of its IEEE-754 bits: for the positive, finite
+/// scores the eligibility filter admits, `f64::to_bits` is monotone, and
+/// inverting flips the direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct OrdKey {
+    inv_bits: u64,
+    agg: FlowAggregate,
+}
+
+impl OrdKey {
+    fn new(score: f64, agg: FlowAggregate) -> OrdKey {
+        debug_assert!(score > 0.0, "only positive scores are indexed");
+        OrdKey {
+            inv_bits: !score.to_bits(),
+            agg,
+        }
+    }
+}
+
+/// Observability counters for one decide epoch (see `ctrl.de.*` metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeEpochStats {
+    /// Index mutations (inserts, score moves, removals) ingested since the
+    /// previous decide. Unchanged-score rows cost a hash probe but are not
+    /// deltas.
+    pub deltas_ingested: u64,
+    /// Aggregates currently indexed (eligible set size).
+    pub entries_indexed: u64,
+    /// Ordered-index entries visited by the selection walk (the "top-k
+    /// fringe": ≈ budget + group skips, independent of the index size).
+    pub scanned: u64,
+    /// Aggregates that crossed the offload boundary this epoch
+    /// (offloads + demotions actually decided).
+    pub band_crossers: u64,
+    /// Newcomers inside the hysteresis band whose offload was suppressed in
+    /// favour of the displaced incumbent (churn avoided).
+    pub churn_suppressed: u64,
+}
+
+/// The incremental decision engine. Produces decisions identical to
+/// [`DecisionEngine::decide`](crate::de::DecisionEngine::decide) on the
+/// same demand history (asserted by the `de_differential` suite) while
+/// doing per-epoch work proportional to the change set, not the world.
+#[derive(Debug)]
+pub struct IncrementalDecisionEngine {
+    /// Configuration (shared semantics with the full-scan engine).
+    pub cfg: DeConfig,
+    /// Aggregate → index into `cfg.groups` (first containing group wins).
+    group_idx: FxHashMap<FlowAggregate, usize>,
+    /// Aggregate → current score, for every eligible aggregate.
+    scores: FxHashMap<FlowAggregate, f64>,
+    /// Score-ordered view of `scores` (see [`OrdKey`]).
+    ord: BTreeSet<OrdKey>,
+    /// Mutations since the last decide (rolled into [`DeEpochStats`]).
+    pending_deltas: u64,
+    /// Stats of the most recent decide epoch.
+    stats: DeEpochStats,
+}
+
+impl IncrementalDecisionEngine {
+    /// Build an empty engine from config.
+    pub fn new(cfg: DeConfig) -> IncrementalDecisionEngine {
+        let group_idx = cfg.group_index();
+        IncrementalDecisionEngine {
+            group_idx,
+            scores: FxHashMap::default(),
+            ord: BTreeSet::new(),
+            pending_deltas: 0,
+            stats: DeEpochStats::default(),
+            cfg,
+        }
+    }
+
+    /// Number of aggregates currently indexed.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when no aggregate is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Stats of the most recent [`IncrementalDecisionEngine::decide`] epoch.
+    pub fn last_stats(&self) -> DeEpochStats {
+        self.stats
+    }
+
+    /// Upsert one demand row: indexes it when eligible (same filter as the
+    /// full-scan `rank`), removes it otherwise.
+    fn upsert(&mut self, d: &AggDemand) {
+        if !self.cfg.eligible(d) {
+            self.remove(&d.agg);
+            return;
+        }
+        let score = self.cfg.score(d);
+        if let Some(old) = self.scores.insert(d.agg, score) {
+            if old == score {
+                return; // no movement: not a delta
+            }
+            self.ord.remove(&OrdKey::new(old, d.agg));
+        }
+        self.ord.insert(OrdKey::new(score, d.agg));
+        self.pending_deltas += 1;
+    }
+
+    /// Drop one aggregate from the index (expired / no longer eligible).
+    fn remove(&mut self, agg: &FlowAggregate) {
+        if let Some(old) = self.scores.remove(agg) {
+            self.ord.remove(&OrdKey::new(old, *agg));
+            self.pending_deltas += 1;
+        }
+    }
+
+    /// Ingest one epoch's demand deltas: `changed` carries new and updated
+    /// rows (rows falling below the eligibility filter count as removals),
+    /// `removed` the aggregates that expired from measurement entirely.
+    pub fn ingest(&mut self, changed: &[AggDemand], removed: &[FlowAggregate]) {
+        for d in changed {
+            self.upsert(d);
+        }
+        for a in removed {
+            self.remove(a);
+        }
+    }
+
+    /// Ingest a *full* demand snapshot: upserts every row and sweeps
+    /// indexed aggregates absent from the snapshot. O(total) — this is the
+    /// compatibility path for callers that still materialize full reports
+    /// (it skips the sort and the quadratic hysteresis of the full-scan
+    /// engine); delta feeding via [`IncrementalDecisionEngine::ingest`] is
+    /// the near-linear path.
+    pub fn ingest_snapshot(&mut self, demands: &[AggDemand]) {
+        let mut seen: HashSet<FlowAggregate> = HashSet::with_capacity(demands.len());
+        for d in demands {
+            seen.insert(d.agg);
+            self.upsert(d);
+        }
+        // No size shortcut: `upsert` drops ineligible rows, so `seen` and
+        // `scores` can have equal sizes while a stale entry lingers.
+        let stale: Vec<FlowAggregate> = self
+            .scores
+            .keys()
+            .filter(|a| !seen.contains(*a))
+            .copied()
+            .collect();
+        for a in &stale {
+            self.remove(a);
+        }
+    }
+
+    /// Decide the hardware set from the current index (same contract as the
+    /// full-scan [`DecisionEngine::decide`](crate::de::DecisionEngine::decide):
+    /// `offloaded` is the currently offloaded set, `budget` the total
+    /// fast-path entries the DE may use).
+    pub fn decide(&mut self, offloaded: &HashSet<FlowAggregate>, budget: usize) -> Decision {
+        let cap = self.cfg.max_offloaded.map_or(budget, |m| m.min(budget));
+
+        // Greedy top-k walk over the score order — identical order and
+        // group handling to the oracle's scan of its sorted `ranked` vec,
+        // but touching only the fringe needed to fill `cap`.
+        let mut target: Vec<FlowAggregate> = Vec::new();
+        let mut chosen: HashSet<FlowAggregate> = HashSet::new();
+        let mut scanned = 0u64;
+        for key in self.ord.iter() {
+            if target.len() >= cap {
+                break;
+            }
+            scanned += 1;
+            if chosen.contains(&key.agg) {
+                continue;
+            }
+            match self.group_idx.get(&key.agg) {
+                Some(&gi) => {
+                    let group = &self.cfg.groups[gi];
+                    if target.len() + group.len() <= cap {
+                        for g in group {
+                            if chosen.insert(*g) {
+                                target.push(*g);
+                            }
+                        }
+                    }
+                    // else: all-or-nothing — skip the whole group.
+                }
+                None => {
+                    chosen.insert(key.agg);
+                    target.push(key.agg);
+                }
+            }
+        }
+
+        // Hysteresis band at the k-th boundary (module docs): the best
+        // displaced incumbent suppresses every newcomer scoring inside
+        // `[0, h·S(inc))`.
+        let mut suppressed = 0u64;
+        let mut target_set: HashSet<FlowAggregate> = target.iter().copied().collect();
+        if self.cfg.hysteresis > 1.0 {
+            let displaced: Option<(f64, FlowAggregate)> = offloaded
+                .iter()
+                .filter(|o| !target_set.contains(o))
+                .map(|o| (self.scores.get(o).copied().unwrap_or(0.0), *o))
+                .max_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| b.1.cmp(&a.1)));
+            if let Some((s_inc, inc)) = displaced {
+                if s_inc > 0.0 {
+                    let mut stable = target.clone();
+                    for (i, t) in target.iter().enumerate() {
+                        if offloaded.contains(t) {
+                            continue; // already in hardware: no churn
+                        }
+                        let s_new = self.scores.get(t).copied().unwrap_or(0.0);
+                        if s_new < self.cfg.hysteresis * s_inc {
+                            stable[i] = inc;
+                            suppressed += 1;
+                        }
+                    }
+                    // De-duplicate while preserving order (several
+                    // suppressed newcomers collapse into one incumbent).
+                    let mut seen = HashSet::new();
+                    target = stable.into_iter().filter(|a| seen.insert(*a)).collect();
+                    target_set = target.iter().copied().collect();
+                }
+            }
+        }
+
+        let offload: Vec<FlowAggregate> = target
+            .iter()
+            .filter(|a| !offloaded.contains(a))
+            .copied()
+            .collect();
+        let mut demote: Vec<FlowAggregate> = offloaded
+            .iter()
+            .filter(|a| !target_set.contains(a))
+            .copied()
+            .collect();
+        demote.sort(); // HashSet order is nondeterministic
+
+        self.stats = DeEpochStats {
+            deltas_ingested: std::mem::take(&mut self.pending_deltas),
+            entries_indexed: self.scores.len() as u64,
+            scanned,
+            band_crossers: (offload.len() + demote.len()) as u64,
+            churn_suppressed: suppressed,
+        };
+        Decision {
+            offload,
+            demote,
+            target,
+        }
+    }
+
+    /// Snapshot-mode decide: [`IncrementalDecisionEngine::ingest_snapshot`]
+    /// followed by [`IncrementalDecisionEngine::decide`] — the drop-in
+    /// replacement for the full-scan `decide` call.
+    pub fn decide_snapshot(
+        &mut self,
+        demands: &[AggDemand],
+        offloaded: &HashSet<FlowAggregate>,
+        budget: usize,
+    ) -> Decision {
+        self.ingest_snapshot(demands);
+        self.decide(offloaded, budget)
+    }
+}
+
+/// One rack's epoch input for [`ShardedDecisionEngine::decide_all`].
+pub struct ShardEpoch<'a> {
+    /// Changed/new demand rows for this rack.
+    pub changed: &'a [AggDemand],
+    /// Aggregates expired from this rack's measurement.
+    pub removed: &'a [FlowAggregate],
+    /// The rack's currently offloaded set.
+    pub offloaded: &'a HashSet<FlowAggregate>,
+    /// The rack ToR's fast-path budget.
+    pub budget: usize,
+}
+
+/// Per-ToR sharded controller state: one [`IncrementalDecisionEngine`] per
+/// rack, scored in parallel. Rack decisions are independent by construction
+/// (per-ToR budget, per-ToR offloaded set), so the fan-out is deterministic:
+/// results are returned in shard order no matter how threads interleave.
+#[derive(Debug)]
+pub struct ShardedDecisionEngine {
+    shards: Vec<IncrementalDecisionEngine>,
+}
+
+impl ShardedDecisionEngine {
+    /// One engine per ToR, all sharing the same policy config.
+    pub fn new(cfg: &DeConfig, n_shards: usize) -> ShardedDecisionEngine {
+        assert!(n_shards > 0, "a fleet has at least one rack");
+        ShardedDecisionEngine {
+            shards: (0..n_shards)
+                .map(|_| IncrementalDecisionEngine::new(cfg.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards (racks).
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's engine (e.g. to pre-seed or inspect it).
+    pub fn shard(&self, i: usize) -> &IncrementalDecisionEngine {
+        &self.shards[i]
+    }
+
+    /// Mutable access to one shard's engine.
+    pub fn shard_mut(&mut self, i: usize) -> &mut IncrementalDecisionEngine {
+        &mut self.shards[i]
+    }
+
+    /// Run one control epoch across every rack: ingest each shard's deltas
+    /// and decide its hardware set, fanning out across OS threads when more
+    /// than one shard exists. Returns decisions in shard order.
+    pub fn decide_all(&mut self, epochs: &[ShardEpoch<'_>]) -> Vec<Decision> {
+        assert_eq!(epochs.len(), self.shards.len(), "one epoch input per shard");
+        if self.shards.len() == 1 {
+            let ep = &epochs[0];
+            let sh = &mut self.shards[0];
+            sh.ingest(ep.changed, ep.removed);
+            return vec![sh.decide(ep.offloaded, ep.budget)];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(epochs)
+                .map(|(sh, ep)| {
+                    scope.spawn(move || {
+                        sh.ingest(ep.changed, ep.removed);
+                        sh.decide(ep.offloaded, ep.budget)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard scoring thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::de::DecisionEngine;
+    use fastrak_net::addr::{Ip, TenantId};
+
+    fn agg(port: u16) -> FlowAggregate {
+        FlowAggregate::DstApp {
+            tenant: TenantId(1),
+            ip: Ip::tenant_vm(9),
+            port,
+        }
+    }
+
+    fn demand(port: u16, m_pps: f64, n: u32) -> AggDemand {
+        AggDemand {
+            agg: agg(port),
+            pps: m_pps,
+            bps: m_pps * 1000.0,
+            n_active: n,
+            m_pps,
+            m_bps: m_pps * 1000.0,
+        }
+    }
+
+    /// Snapshot-mode decisions must equal the full-scan oracle's.
+    fn assert_matches_oracle(
+        cfg: DeConfig,
+        demands: &[AggDemand],
+        offloaded: &HashSet<FlowAggregate>,
+        budget: usize,
+    ) {
+        let oracle = DecisionEngine::new(cfg.clone()).decide(demands, offloaded, budget);
+        let mut inc = IncrementalDecisionEngine::new(cfg);
+        let got = inc.decide_snapshot(demands, offloaded, budget);
+        assert_eq!(got, oracle);
+    }
+
+    #[test]
+    fn top_k_matches_oracle() {
+        let demands = vec![
+            demand(1, 1000.0, 2),
+            demand(2, 10.0, 2),
+            demand(3, 500.0, 2),
+        ];
+        assert_matches_oracle(DeConfig::paper(), &demands, &HashSet::new(), 2);
+    }
+
+    #[test]
+    fn hysteresis_band_matches_oracle() {
+        let mut cfg = DeConfig::paper();
+        cfg.hysteresis = 1.5;
+        let mut offloaded = HashSet::new();
+        offloaded.insert(agg(2));
+        let demands = vec![demand(1, 110.0, 1), demand(2, 100.0, 1)];
+        assert_matches_oracle(cfg.clone(), &demands, &offloaded, 1);
+        // And the band actually suppressed the churn.
+        let mut inc = IncrementalDecisionEngine::new(cfg);
+        let d = inc.decide_snapshot(&demands, &offloaded, 1);
+        assert_eq!(d.target, vec![agg(2)], "incumbent survives the band");
+        assert_eq!(inc.last_stats().churn_suppressed, 1);
+        assert_eq!(inc.last_stats().band_crossers, 0);
+    }
+
+    #[test]
+    fn groups_all_or_nothing_matches_oracle() {
+        let mut cfg = DeConfig::paper();
+        cfg.groups = vec![vec![agg(1), agg(2)]];
+        let demands = vec![demand(1, 1000.0, 2), demand(2, 1.5, 2), demand(3, 500.0, 2)];
+        for budget in [1usize, 2, 3] {
+            assert_matches_oracle(cfg.clone(), &demands, &HashSet::new(), budget);
+        }
+    }
+
+    #[test]
+    fn score_updates_move_aggregates_across_the_boundary() {
+        let mut inc = IncrementalDecisionEngine::new(DeConfig::paper());
+        inc.ingest(&[demand(1, 100.0, 1), demand(2, 200.0, 1)], &[]);
+        let none = HashSet::new();
+        let d = inc.decide(&none, 1);
+        assert_eq!(d.target, vec![agg(2)]);
+        // agg(1) overtakes: only a delta for agg(1) is ingested.
+        inc.ingest(&[demand(1, 300.0, 1)], &[]);
+        let d = inc.decide(&none, 1);
+        assert_eq!(d.target, vec![agg(1)]);
+        assert_eq!(inc.last_stats().deltas_ingested, 1);
+        // Unchanged rows are probes, not deltas.
+        inc.ingest(&[demand(1, 300.0, 1)], &[]);
+        let d = inc.decide(&none, 1);
+        assert_eq!(d.target, vec![agg(1)]);
+        assert_eq!(inc.last_stats().deltas_ingested, 0);
+    }
+
+    #[test]
+    fn removal_and_ineligibility_drop_from_index() {
+        let mut cfg = DeConfig::paper();
+        cfg.min_median_pps = 50.0;
+        let mut inc = IncrementalDecisionEngine::new(cfg);
+        inc.ingest(&[demand(1, 100.0, 1), demand(2, 90.0, 1)], &[]);
+        assert_eq!(inc.len(), 2);
+        // Below the pps floor: treated as a removal.
+        inc.ingest(&[demand(1, 10.0, 1)], &[]);
+        assert_eq!(inc.len(), 1);
+        // Explicit expiry.
+        inc.ingest(&[], &[agg(2)]);
+        assert!(inc.is_empty());
+    }
+
+    #[test]
+    fn snapshot_sweeps_absent_aggregates() {
+        let mut inc = IncrementalDecisionEngine::new(DeConfig::paper());
+        inc.ingest_snapshot(&[demand(1, 100.0, 1), demand(2, 90.0, 1)]);
+        assert_eq!(inc.len(), 2);
+        inc.ingest_snapshot(&[demand(2, 90.0, 1)]);
+        assert_eq!(inc.len(), 1);
+        let d = inc.decide(&HashSet::new(), 8);
+        assert_eq!(d.target, vec![agg(2)]);
+    }
+
+    #[test]
+    fn selection_walk_is_bounded_by_the_budget() {
+        let mut inc = IncrementalDecisionEngine::new(DeConfig::paper());
+        let demands: Vec<AggDemand> = (0..10_000u16)
+            .map(|i| demand(i, 10.0 + i as f64, 1))
+            .collect();
+        inc.ingest_snapshot(&demands);
+        inc.decide(&HashSet::new(), 16);
+        let st = inc.last_stats();
+        assert_eq!(st.entries_indexed, 10_000);
+        assert!(
+            st.scanned <= 17,
+            "walk must touch only the top-k fringe, scanned {}",
+            st.scanned
+        );
+    }
+
+    #[test]
+    fn sharded_fleet_matches_per_shard_serial_decides() {
+        let cfg = DeConfig::paper();
+        let n_shards = 4;
+        let mut fleet = ShardedDecisionEngine::new(&cfg, n_shards);
+        let mut solo: Vec<IncrementalDecisionEngine> = (0..n_shards)
+            .map(|_| IncrementalDecisionEngine::new(cfg.clone()))
+            .collect();
+        let offloaded: Vec<HashSet<FlowAggregate>> =
+            (0..n_shards).map(|_| HashSet::new()).collect();
+        for round in 0..5u16 {
+            let changed: Vec<Vec<AggDemand>> = (0..n_shards)
+                .map(|s| {
+                    (0..50u16)
+                        .map(|i| {
+                            demand(i, (1 + s as u16 + i + round) as f64 * 7.0, 1 + round as u32)
+                        })
+                        .collect()
+                })
+                .collect();
+            let epochs: Vec<ShardEpoch<'_>> = (0..n_shards)
+                .map(|s| ShardEpoch {
+                    changed: &changed[s],
+                    removed: &[],
+                    offloaded: &offloaded[s],
+                    budget: 8,
+                })
+                .collect();
+            let fleet_out = fleet.decide_all(&epochs);
+            for s in 0..n_shards {
+                solo[s].ingest(&changed[s], &[]);
+                let want = solo[s].decide(&offloaded[s], 8);
+                assert_eq!(fleet_out[s], want, "shard {s} round {round}");
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //!   [`fastrak_workload::Testbed`].
 
 pub mod de;
+pub mod de_inc;
 pub mod fps;
 pub mod local;
 pub mod me;
@@ -28,9 +29,10 @@ pub mod rules;
 pub mod tor_ctrl;
 
 pub use de::{DeConfig, Decision, DecisionEngine};
+pub use de_inc::{DeEpochStats, IncrementalDecisionEngine, ShardEpoch, ShardedDecisionEngine};
 pub use fps::{fps_split, FpsConfig, FpsInput, FpsSplit};
 pub use local::{LocalController, LocalControllerConfig, Timing};
-pub use me::{AggDemand, MeasurementEngine, VmDemandProfile};
+pub use me::{AggDemand, DemandDelta, MeasurementEngine, VmDemandProfile};
 pub use protocol::{DemandReport, MigrationPrepare, OffloadDecision, VmLimit};
 pub use rules::{RuleManager, SynthesisError};
 pub use tor_ctrl::{CtrlCounterIds, CtrlPlaneConfig, TorController, TorControllerConfig};

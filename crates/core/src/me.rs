@@ -37,6 +37,18 @@ pub struct AggDemand {
     pub m_bps: f64,
 }
 
+/// One epoch's demand changes, for feeding the incremental decision engine
+/// (`changed` carries new and updated rows, `removed` aggregates that aged
+/// out of measurement). Both sides are sorted by aggregate so delta replay
+/// is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct DemandDelta {
+    /// Rows whose demand changed since the last drain (includes new rows).
+    pub changed: Vec<AggDemand>,
+    /// Aggregates dropped from measurement since the last drain.
+    pub removed: Vec<FlowAggregate>,
+}
+
 #[derive(Debug, Clone, Default)]
 struct AggState {
     /// Cumulative (packets, bytes) at the epoch's first sample.
@@ -45,6 +57,28 @@ struct AggState {
     hist: VecDeque<(f64, f64)>,
     last_pps: f64,
     last_bps: f64,
+    /// Demand possibly changed since the last [`MeasurementEngine::delta_report`]
+    /// drain (set when an epoch push alters the history window's contents).
+    dirty: bool,
+}
+
+impl AggState {
+    /// Push one closed epoch's rates into the bounded history. Returns
+    /// whether the demand report row could have changed: every field of
+    /// [`AggDemand`] is a function of the window multiset and the last
+    /// sample, so a full window that evicts exactly the value being pushed,
+    /// with an unchanged last sample, leaves the row untouched — the
+    /// steady-rate case the delta path exploits.
+    fn push_epoch(&mut self, pps: f64, bps: f64, cap: usize) -> bool {
+        let v = (pps, bps);
+        let prev_back = self.hist.back().copied();
+        let full = self.hist.len() >= cap;
+        let popped = if full { self.hist.pop_front() } else { None };
+        self.hist.push_back(v);
+        self.last_pps = pps;
+        self.last_bps = bps;
+        !(full && popped == Some(v) && prev_back == Some(v))
+    }
 }
 
 /// The measurement engine: fed cumulative stat dumps, produces demand
@@ -57,6 +91,11 @@ pub struct MeasurementEngine {
     pub history_len: usize,
     aggs: FxHashMap<FlowAggregate, AggState>,
     epochs_done: u64,
+    /// Aggregates marked dirty since the last `delta_report` drain (each at
+    /// most once; the `AggState::dirty` flag guards against duplicates).
+    dirty_list: Vec<FlowAggregate>,
+    /// Aggregates dropped by the idle sweep since the last drain.
+    removed_pending: Vec<FlowAggregate>,
 }
 
 impl MeasurementEngine {
@@ -68,6 +107,16 @@ impl MeasurementEngine {
             history_len,
             aggs: FxHashMap::default(),
             epochs_done: 0,
+            dirty_list: Vec::new(),
+            removed_pending: Vec::new(),
+        }
+    }
+
+    /// Mark one aggregate's report row as changed (at most once per drain).
+    fn mark_dirty(dirty_list: &mut Vec<FlowAggregate>, agg: FlowAggregate, st: &mut AggState) {
+        if !st.dirty {
+            st.dirty = true;
+            dirty_list.push(agg);
         }
     }
 
@@ -105,28 +154,28 @@ impl MeasurementEngine {
             let (p1, b1) = st.sample_a.take().unwrap_or((*p2, *b2));
             let pps = (p2.saturating_sub(p1)) as f64 / gap;
             let bps = (b2.saturating_sub(b1)) as f64 / gap;
-            st.last_pps = pps;
-            st.last_bps = bps;
-            st.hist.push_back((pps, bps));
-            if st.hist.len() > hist_len {
-                st.hist.pop_front();
+            if st.push_epoch(pps, bps, hist_len) {
+                Self::mark_dirty(&mut self.dirty_list, *agg, st);
             }
         }
         // Aggregates we know but which vanished from the dump: zero epoch.
         for (agg, st) in self.aggs.iter_mut() {
             if !folded.contains_key(agg) {
                 st.sample_a = None;
-                st.last_pps = 0.0;
-                st.last_bps = 0.0;
-                st.hist.push_back((0.0, 0.0));
-                if st.hist.len() > hist_len {
-                    st.hist.pop_front();
+                if st.push_epoch(0.0, 0.0, hist_len) {
+                    Self::mark_dirty(&mut self.dirty_list, *agg, st);
                 }
             }
         }
         // Drop aggregates idle across the whole remembered history.
-        self.aggs
-            .retain(|_, st| st.hist.iter().any(|&(p, _)| p > 0.0));
+        let removed_pending = &mut self.removed_pending;
+        self.aggs.retain(|agg, st| {
+            let keep = st.hist.iter().any(|&(p, _)| p > 0.0);
+            if !keep {
+                removed_pending.push(*agg);
+            }
+            keep
+        });
     }
 
     /// Number of closed epochs.
@@ -134,26 +183,33 @@ impl MeasurementEngine {
         self.epochs_done
     }
 
+    /// One aggregate's report row (None while no epoch has closed).
+    fn demand_row(agg: FlowAggregate, st: &AggState) -> Option<AggDemand> {
+        let mut pps_hist: Vec<f64> = st.hist.iter().map(|&(p, _)| p).collect();
+        let mut bps_hist: Vec<f64> = st.hist.iter().map(|&(_, b)| b).collect();
+        if pps_hist.is_empty() {
+            return None;
+        }
+        pps_hist.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bps_hist.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mid = pps_hist.len() / 2;
+        Some(AggDemand {
+            agg,
+            pps: st.last_pps,
+            bps: st.last_bps,
+            n_active: st.hist.iter().filter(|&&(p, _)| p > 0.0).count() as u32,
+            m_pps: pps_hist[mid],
+            m_bps: bps_hist[mid],
+        })
+    }
+
     /// Produce the demand report (one row per active aggregate).
     pub fn report(&self) -> Vec<AggDemand> {
         let mut out = Vec::with_capacity(self.aggs.len());
         for (agg, st) in &self.aggs {
-            let mut pps_hist: Vec<f64> = st.hist.iter().map(|&(p, _)| p).collect();
-            let mut bps_hist: Vec<f64> = st.hist.iter().map(|&(_, b)| b).collect();
-            if pps_hist.is_empty() {
-                continue;
+            if let Some(row) = Self::demand_row(*agg, st) {
+                out.push(row);
             }
-            pps_hist.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            bps_hist.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let mid = pps_hist.len() / 2;
-            out.push(AggDemand {
-                agg: *agg,
-                pps: st.last_pps,
-                bps: st.last_bps,
-                n_active: st.hist.iter().filter(|&&(p, _)| p > 0.0).count() as u32,
-                m_pps: pps_hist[mid],
-                m_bps: bps_hist[mid],
-            });
         }
         out.sort_by(|a, b| {
             b.m_pps
@@ -162,6 +218,37 @@ impl MeasurementEngine {
                 .then_with(|| a.agg.cmp(&b.agg))
         });
         out
+    }
+
+    /// Drain the demand changes accumulated since the previous drain — the
+    /// incremental decision engine's feed. Replaying every drained delta
+    /// into an empty table reconstructs exactly [`MeasurementEngine::report`]
+    /// (asserted by the differential suite): `changed` holds the recomputed
+    /// rows of every aggregate whose window contents changed, `removed` the
+    /// aggregates the idle sweep dropped. Cost is O(changed), not O(active):
+    /// steady-rate aggregates whose full window evicts the value being
+    /// pushed are never touched.
+    pub fn delta_report(&mut self) -> DemandDelta {
+        let mut changed: Vec<AggDemand> = Vec::with_capacity(self.dirty_list.len());
+        for agg in std::mem::take(&mut self.dirty_list) {
+            // Aggregates dropped by the idle sweep after being marked show
+            // up in `removed` instead.
+            if let Some(st) = self.aggs.get_mut(&agg) {
+                st.dirty = false;
+                if let Some(row) = Self::demand_row(agg, st) {
+                    changed.push(row);
+                }
+            }
+        }
+        changed.sort_by_key(|a| a.agg);
+        let mut removed = std::mem::take(&mut self.removed_pending);
+        // An aggregate that aged out and came back within one drain window
+        // is alive: its fresh row is in `changed`, so no removal is
+        // emitted (consumers apply `changed` before `removed`).
+        removed.retain(|a| !self.aggs.contains_key(a));
+        removed.sort();
+        removed.dedup();
+        DemandDelta { changed, removed }
     }
 
     /// Extract the demand profile of one VM (all aggregates whose endpoint
@@ -196,6 +283,9 @@ impl MeasurementEngine {
                 if let Some(&(p, b)) = st.hist.back() {
                     st.last_pps = p;
                     st.last_bps = b;
+                }
+                if !st.hist.is_empty() {
+                    Self::mark_dirty(&mut self.dirty_list, agg, st);
                 }
             }
         }
@@ -333,6 +423,88 @@ mod tests {
         let rep = me2.report();
         assert_eq!(rep.len(), 1);
         assert!((rep[0].m_pps - 1000.0).abs() < 1e-9);
+    }
+
+    /// Replay drained deltas into a map and compare against the full report.
+    fn replay_matches_report(
+        me: &mut MeasurementEngine,
+        shadow: &mut FxHashMap<FlowAggregate, AggDemand>,
+    ) {
+        let delta = me.delta_report();
+        for row in &delta.changed {
+            shadow.insert(row.agg, *row);
+        }
+        for agg in &delta.removed {
+            shadow.remove(agg);
+        }
+        let mut want = me.report();
+        want.sort_by_key(|a| a.agg);
+        let mut got: Vec<AggDemand> = shadow.values().copied().collect();
+        got.sort_by_key(|a| a.agg);
+        assert_eq!(got, want, "delta replay diverged from the full report");
+    }
+
+    #[test]
+    fn delta_replay_reconstructs_the_report() {
+        let mut me = MeasurementEngine::new(1.0, 3);
+        let mut shadow = FxHashMap::default();
+        let k1 = key(1, 2, 10, 20);
+        let k2 = key(3, 4, 30, 40);
+        let mut cum1 = 0u64;
+        let mut cum2 = 0u64;
+        for epoch in 0..8u64 {
+            let mut dump = Vec::new();
+            // k1: rate varies; k2: present only early (ages out later).
+            me.epoch_sample_a(&[entry(k1, cum1, cum1), entry(k2, cum2, cum2)]);
+            cum1 += 100 + 10 * (epoch % 3);
+            if epoch < 3 {
+                cum2 += 500;
+                dump.push(entry(k2, cum2, cum2));
+            }
+            dump.push(entry(k1, cum1, cum1));
+            me.epoch_sample_b(&dump);
+            replay_matches_report(&mut me, &mut shadow);
+        }
+    }
+
+    #[test]
+    fn steady_rates_produce_no_deltas() {
+        let mut me = MeasurementEngine::new(1.0, 3);
+        let k = key(1, 2, 1, 2);
+        let mut cum = 0u64;
+        for _ in 0..3 {
+            me.epoch_sample_a(&[entry(k, cum, cum)]);
+            cum += 100;
+            me.epoch_sample_b(&[entry(k, cum, cum)]);
+        }
+        let _ = me.delta_report(); // drain the warm-up
+        for _ in 0..4 {
+            me.epoch_sample_a(&[entry(k, cum, cum)]);
+            cum += 100;
+            me.epoch_sample_b(&[entry(k, cum, cum)]);
+            let d = me.delta_report();
+            assert!(
+                d.changed.is_empty() && d.removed.is_empty(),
+                "steady window must produce no deltas, got {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn aged_out_aggregates_emit_removals() {
+        let mut me = MeasurementEngine::new(1.0, 2);
+        let k = key(1, 2, 1, 2);
+        me.epoch_sample_a(&[entry(k, 0, 0)]);
+        me.epoch_sample_b(&[entry(k, 100, 100)]);
+        let d = me.delta_report();
+        assert_eq!(d.changed.len(), 2, "src+dst aggregates reported");
+        for _ in 0..3 {
+            me.epoch_sample_a(&[]);
+            me.epoch_sample_b(&[]);
+        }
+        let d = me.delta_report();
+        assert!(d.changed.is_empty());
+        assert_eq!(d.removed.len(), 2, "both aggregates age out: {d:?}");
     }
 
     #[test]

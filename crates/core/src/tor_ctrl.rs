@@ -27,6 +27,10 @@ use fastrak_telemetry::span::SpanId;
 use fastrak_telemetry::{CounterId, Registry};
 
 use crate::de::{DeConfig, DecisionEngine};
+#[cfg(feature = "full-scan-de")]
+use crate::de_inc::DeEpochStats;
+#[cfg(not(feature = "full-scan-de"))]
+use crate::de_inc::IncrementalDecisionEngine;
 use crate::me::AggDemand;
 use crate::protocol::{DemandReport, MigrationPrepare, OffloadDecision};
 use crate::rules::RuleManager;
@@ -107,10 +111,22 @@ pub struct CtrlCounterIds {
     pub reconcile_counter_repairs: CounterId,
     /// Times the failure threshold tripped hardware suspension.
     pub hw_suspensions: CounterId,
+    /// Decision-engine epochs executed.
+    pub de_epochs: CounterId,
+    /// Cumulative wall-clock nanoseconds spent inside decision epochs (the
+    /// plane's one wall-clock metric: it never influences the simulation,
+    /// but its exported value naturally varies run to run).
+    pub de_epoch_ns: CounterId,
+    /// Score-index mutations ingested by the incremental engine.
+    pub de_deltas_ingested: CounterId,
+    /// Aggregates that crossed the offload boundary (offloads + demotes).
+    pub de_band_crossers: CounterId,
+    /// Offloads suppressed by the hysteresis band (churn avoided).
+    pub de_churn_suppressed: CounterId,
 }
 
 impl CtrlCounterIds {
-    /// Register the nine `ctrl.*` counters (idempotent: the registry dedups
+    /// Register the `ctrl.*` counters (idempotent: the registry dedups
     /// by rendered name, so re-registration returns the same ids).
     pub fn register(reg: &mut Registry) -> CtrlCounterIds {
         CtrlCounterIds {
@@ -123,6 +139,11 @@ impl CtrlCounterIds {
             reconcile_lost_demoted: reg.counter("ctrl.reconcile_lost_demoted", &[]),
             reconcile_counter_repairs: reg.counter("ctrl.reconcile_counter_repairs", &[]),
             hw_suspensions: reg.counter("ctrl.hw_suspensions", &[]),
+            de_epochs: reg.counter("ctrl.de.epochs", &[]),
+            de_epoch_ns: reg.counter("ctrl.de.epoch_ns", &[]),
+            de_deltas_ingested: reg.counter("ctrl.de.deltas_ingested", &[]),
+            de_band_crossers: reg.counter("ctrl.de.band_crossers", &[]),
+            de_churn_suppressed: reg.counter("ctrl.de.churn_suppressed", &[]),
         }
     }
 }
@@ -254,6 +275,11 @@ struct InstallTxn {
 pub struct TorController {
     cfg: TorControllerConfig,
     de: DecisionEngine,
+    /// The production decision engine: incremental top-k. The retained
+    /// full-scan `de` doubles as the differential oracle; building with
+    /// `--features full-scan-de` routes epochs through it instead.
+    #[cfg(not(feature = "full-scan-de"))]
+    inc: IncrementalDecisionEngine,
     /// Latest report per local controller.
     reports: HashMap<Ip, DemandReport>,
     /// Currently offloaded aggregates.
@@ -293,6 +319,8 @@ impl TorController {
         let hist_cap = (cfg.timing.epochs_per_interval * cfg.timing.history_intervals) as usize;
         TorController {
             de: DecisionEngine::new(cfg.de.clone()),
+            #[cfg(not(feature = "full-scan-de"))]
+            inc: IncrementalDecisionEngine::new(cfg.de.clone()),
             reports: HashMap::new(),
             offloaded: HashSet::new(),
             installed_spec: HashMap::new(),
@@ -391,7 +419,53 @@ impl TorController {
     fn decide(&mut self, api: &mut Api<'_, Event, NetCtx>) {
         self.rounds += 1;
         let demands = self.merged_demands();
-        let decision = self.de.decide(&demands, &self.offloaded, self.cfg.budget);
+
+        // Run the epoch under a wall clock. The duration feeds only the
+        // `ctrl.de.epoch_ns` counter — it never influences simulated time or
+        // any decision, so determinism is preserved (the fingerprint used by
+        // the determinism suite excludes the registry).
+        let t0 = std::time::Instant::now();
+        #[cfg(not(feature = "full-scan-de"))]
+        let (decision, de_stats) = {
+            let d = self
+                .inc
+                .decide_snapshot(&demands, &self.offloaded, self.cfg.budget);
+            (d, self.inc.last_stats())
+        };
+        #[cfg(feature = "full-scan-de")]
+        let (decision, de_stats) = {
+            let d = self.de.decide(&demands, &self.offloaded, self.cfg.budget);
+            // The oracle has no delta pipeline; synthesize the equivalents so
+            // the metric names stay meaningful under either engine.
+            let s = DeEpochStats {
+                deltas_ingested: demands.len() as u64,
+                entries_indexed: demands.len() as u64,
+                scanned: demands.len() as u64,
+                band_crossers: (d.offload.len() + d.demote.len()) as u64,
+                churn_suppressed: 0,
+            };
+            (d, s)
+        };
+        let epoch_ns = t0.elapsed().as_nanos() as u64;
+
+        {
+            let reg = &mut api.ctx.telemetry.registry;
+            let c = &self.cfg.counters;
+            reg.inc(c.de_epochs);
+            reg.add(c.de_epoch_ns, epoch_ns);
+            reg.add(c.de_deltas_ingested, de_stats.deltas_ingested);
+            reg.add(c.de_band_crossers, de_stats.band_crossers);
+            reg.add(c.de_churn_suppressed, de_stats.churn_suppressed);
+        }
+        if api.ctx.telemetry.spans.enabled() {
+            let spans = &mut api.ctx.telemetry.spans;
+            let comp = spans.comp("tor-ctrl");
+            // Zero-duration marker span: one per decision epoch, keyed by the
+            // round number so epochs are distinguishable in a trace.
+            if let Some(s) = spans.begin(api.now.as_nanos(), comp, "de-epoch", self.rounds) {
+                spans.end(api.now.as_nanos(), s);
+            }
+        }
 
         // Hardware rates for the FPS splits (bits/sec). Sorted for
         // determinism (HashSet iteration order is randomized).

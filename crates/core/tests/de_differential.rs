@@ -1,0 +1,264 @@
+//! Differential suite: the incremental decision engine versus the retained
+//! full-scan oracle (the `full-scan-de` feature routes the controller onto
+//! the oracle; here both run side by side in-process).
+//!
+//! A seeded xorshift demand stream drives thousands of epochs through three
+//! engines at once — the full-scan `DecisionEngine`, a snapshot-fed
+//! `IncrementalDecisionEngine`, and a delta-fed one — with the offloaded set
+//! evolving exactly as a controller would evolve it (apply each round's
+//! target). Every round's `Decision` must be structurally identical across
+//! all three, and replaying the same seed must be bit-identical.
+
+use std::collections::HashSet;
+
+use fastrak::{
+    AggDemand, DeConfig, Decision, DecisionEngine, IncrementalDecisionEngine, MeasurementEngine,
+};
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_net::ctrl::FlowStatEntry;
+use fastrak_net::flow::{FlowAggregate, FlowKey, Proto};
+
+/// Deterministic xorshift64* stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.max(1))
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    /// Uniform in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+    /// Uniform float in `[0, 1)`.
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn agg(i: u64) -> FlowAggregate {
+    FlowAggregate::DstApp {
+        tenant: TenantId(1 + (i % 3) as u32),
+        ip: Ip::tenant_vm(1 + (i / 7) as u16),
+        port: (1 + i % 4096) as u16,
+    }
+}
+
+/// Synthetic demand universe: `n` aggregates whose median rates random-walk
+/// each epoch, a churn fraction appearing/disappearing, scores colliding
+/// often enough to exercise the tie-breaks.
+struct DemandStream {
+    rng: Rng,
+    rates: Vec<f64>,
+    alive: Vec<bool>,
+}
+
+impl DemandStream {
+    fn new(seed: u64, n: usize) -> DemandStream {
+        let mut rng = Rng::new(seed);
+        let rates = (0..n).map(|_| 10.0 + rng.below(1000) as f64).collect();
+        DemandStream {
+            rng,
+            rates,
+            alive: vec![true; n],
+        }
+    }
+
+    /// Advance one epoch and return the full demand snapshot (engine input).
+    fn tick(&mut self) -> Vec<AggDemand> {
+        let n = self.rates.len();
+        // ~10% of aggregates move each epoch; ~2% flip liveness.
+        for _ in 0..n / 10 {
+            let i = self.rng.below(n as u64) as usize;
+            // Quantized moves so distinct aggregates frequently share a
+            // score (ties must break deterministically).
+            self.rates[i] =
+                (self.rates[i] + (self.rng.below(21) as f64 - 10.0) * 25.0).clamp(0.0, 5000.0);
+        }
+        for _ in 0..(n / 50).max(1) {
+            let i = self.rng.below(n as u64) as usize;
+            self.alive[i] = !self.alive[i];
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if !self.alive[i] || self.rates[i] <= 0.0 {
+                continue;
+            }
+            out.push(AggDemand {
+                agg: agg(i as u64),
+                pps: self.rates[i] * (0.9 + 0.2 * self.rng.f64()),
+                bps: self.rates[i] * 800.0,
+                n_active: 1 + (i % 5) as u32,
+                m_pps: self.rates[i],
+                m_bps: self.rates[i] * 800.0,
+            });
+        }
+        out
+    }
+}
+
+/// Diff two consecutive snapshots into the delta-feed shape.
+fn diff(prev: &[AggDemand], next: &[AggDemand]) -> (Vec<AggDemand>, Vec<FlowAggregate>) {
+    let prev_map: std::collections::HashMap<FlowAggregate, &AggDemand> =
+        prev.iter().map(|d| (d.agg, d)).collect();
+    let next_set: HashSet<FlowAggregate> = next.iter().map(|d| d.agg).collect();
+    let changed: Vec<AggDemand> = next
+        .iter()
+        .filter(|d| prev_map.get(&d.agg).is_none_or(|p| **p != **d))
+        .copied()
+        .collect();
+    let removed: Vec<FlowAggregate> = prev
+        .iter()
+        .map(|d| d.agg)
+        .filter(|a| !next_set.contains(a))
+        .collect();
+    (changed, removed)
+}
+
+/// Drive `epochs` rounds of one config through all three engines, evolving
+/// the offloaded set from each round's target; return the decision log.
+fn run_differential(cfg: DeConfig, seed: u64, n: usize, epochs: usize) -> Vec<Decision> {
+    let oracle = DecisionEngine::new(cfg.clone());
+    let mut snap = IncrementalDecisionEngine::new(cfg.clone());
+    let mut delta = IncrementalDecisionEngine::new(cfg);
+    let mut stream = DemandStream::new(seed, n);
+    let mut offloaded: HashSet<FlowAggregate> = HashSet::new();
+    let mut prev: Vec<AggDemand> = Vec::new();
+    let budget = 32;
+    let mut log = Vec::with_capacity(epochs);
+    for round in 0..epochs {
+        let demands = stream.tick();
+        let want = oracle.decide(&demands, &offloaded, budget);
+
+        let got_snap = snap.decide_snapshot(&demands, &offloaded, budget);
+        assert_eq!(got_snap, want, "snapshot-fed diverged at round {round}");
+
+        let (changed, removed) = diff(&prev, &demands);
+        delta.ingest(&changed, &removed);
+        let got_delta = delta.decide(&offloaded, budget);
+        assert_eq!(got_delta, want, "delta-fed diverged at round {round}");
+
+        // Evolve the offloaded set the way the controller does.
+        offloaded = want.target.iter().copied().collect();
+        prev = demands;
+        log.push(want);
+    }
+    log
+}
+
+#[test]
+fn plain_config_agrees_over_thousands_of_epochs() {
+    let decisions = run_differential(DeConfig::paper(), 0xFA57_0001, 400, 1200);
+    // The run must actually exercise churn, not trivially empty rounds.
+    assert!(decisions.iter().any(|d| !d.offload.is_empty()));
+    assert!(decisions.iter().any(|d| !d.demote.is_empty()));
+}
+
+#[test]
+fn hysteresis_config_agrees() {
+    let mut cfg = DeConfig::paper();
+    cfg.hysteresis = 2.0;
+    cfg.min_median_pps = 20.0;
+    let decisions = run_differential(cfg, 0xFA57_0002, 300, 1000);
+    assert!(decisions.iter().any(|d| !d.offload.is_empty()));
+}
+
+#[test]
+fn grouped_and_prioritized_config_agrees() {
+    let mut cfg = DeConfig::paper();
+    cfg.hysteresis = 1.5;
+    cfg.tenant_priority.insert(TenantId(2), 3.0);
+    cfg.tenant_priority.insert(TenantId(3), 0.5);
+    cfg.max_offloaded = Some(24);
+    // A handful of all-or-nothing groups spread over the universe.
+    cfg.groups = (0..8u64)
+        .map(|g| (0..4).map(|m| agg(g * 37 + m * 9)).collect())
+        .collect();
+    let decisions = run_differential(cfg, 0xFA57_0003, 300, 1000);
+    assert!(decisions.iter().any(|d| !d.offload.is_empty()));
+}
+
+#[test]
+fn replay_is_bit_identical() {
+    let mut cfg = DeConfig::paper();
+    cfg.hysteresis = 1.8;
+    let a = run_differential(cfg.clone(), 0xDEAD_BEEF, 250, 600);
+    let b = run_differential(cfg, 0xDEAD_BEEF, 250, 600);
+    assert_eq!(a, b, "same seed must replay the same decision log");
+}
+
+// ---------------------------------------------------------------------------
+// Measurement-engine delta feed: replaying `delta_report` drains must
+// reconstruct `report` exactly, over a long randomized flow-stat stream.
+// ---------------------------------------------------------------------------
+
+fn key(i: u64) -> FlowKey {
+    FlowKey {
+        tenant: TenantId(1 + (i % 3) as u32),
+        src_ip: Ip::tenant_vm(100 + (i % 11) as u16),
+        dst_ip: Ip::tenant_vm(1 + (i / 7) as u16),
+        proto: Proto::Tcp,
+        src_port: 40_000 + (i % 100) as u16,
+        dst_port: (1 + i % 4096) as u16,
+    }
+}
+
+#[test]
+fn me_delta_feed_reconstructs_the_full_report() {
+    let mut me = MeasurementEngine::new(0.1, 6);
+    let mut rng = Rng::new(0xC0FF_EE00);
+    let n_flows = 60u64;
+    let mut cum: Vec<(u64, u64)> = vec![(0, 0); n_flows as usize];
+
+    // The delta consumer's shadow table, updated changed-then-removed.
+    let mut shadow: std::collections::BTreeMap<FlowAggregate, AggDemand> =
+        std::collections::BTreeMap::new();
+
+    for _round in 0..400 {
+        let mut entries_a = Vec::new();
+        let mut entries_b = Vec::new();
+        for i in 0..n_flows {
+            // Flows stall sometimes (no packet growth → zero epoch) and
+            // sometimes disappear from the dump entirely.
+            let present = rng.below(10) > 0;
+            if !present {
+                continue;
+            }
+            entries_a.push(FlowStatEntry {
+                key: key(i),
+                packets: cum[i as usize].0,
+                bytes: cum[i as usize].1,
+            });
+            let dp = if rng.below(4) == 0 { 0 } else { rng.below(500) };
+            cum[i as usize].0 += dp;
+            cum[i as usize].1 += dp * 1400;
+            entries_b.push(FlowStatEntry {
+                key: key(i),
+                packets: cum[i as usize].0,
+                bytes: cum[i as usize].1,
+            });
+        }
+        me.epoch_sample_a(&entries_a);
+        me.epoch_sample_b(&entries_b);
+
+        let delta = me.delta_report();
+        for d in &delta.changed {
+            shadow.insert(d.agg, *d);
+        }
+        for a in &delta.removed {
+            shadow.remove(a);
+        }
+
+        let mut want = me.report();
+        want.sort_by_key(|d| d.agg);
+        let got: Vec<AggDemand> = shadow.values().copied().collect();
+        assert_eq!(got, want, "delta replay drifted from the full report");
+    }
+}
