@@ -5,13 +5,14 @@
 //!
 //! Run with `cargo bench -p fastrak-bench --bench controller`.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use fastrak::de::{DeConfig, DecisionEngine};
 use fastrak::de_inc::{IncrementalDecisionEngine, ShardEpoch, ShardedDecisionEngine};
 use fastrak::fps::{fps_split, FpsConfig, FpsInput};
 use fastrak::me::{AggDemand, MeasurementEngine};
 use fastrak::rules::RuleManager;
+use fastrak::FastPathPolicy;
 use fastrak_bench::harness::{black_box, Suite};
 use fastrak_net::addr::{Ip, TenantId};
 use fastrak_net::ctrl::FlowStatEntry;
@@ -79,9 +80,9 @@ fn delta_batches(base: &[AggDemand], churn: usize) -> Vec<Vec<AggDemand>> {
 
 /// Steady-state incremental epochs: warm index, fixed offloaded set, each
 /// iteration ingests one churn batch and decides.
-fn bench_incremental(s: &mut Suite, n: usize, churn_pct: usize, name: &str) {
+fn bench_incremental(s: &mut Suite, cfg: DeConfig, n: usize, churn_pct: usize, name: &str) {
     let d = demands(n);
-    let mut inc = IncrementalDecisionEngine::new(DeConfig::paper());
+    let mut inc = IncrementalDecisionEngine::new(cfg);
     inc.ingest_snapshot(&d);
     let offloaded: HashSet<FlowAggregate> = inc
         .decide(&HashSet::new(), 256)
@@ -163,6 +164,7 @@ fn main() {
     for &n in &[100usize, 1_000, 10_000, 100_000] {
         bench_incremental(
             &mut s,
+            DeConfig::paper(),
             n,
             1,
             &format!("decision_engine_decide/aggregates/{n}"),
@@ -174,9 +176,27 @@ fn main() {
     for &(pct, tag) in &[(1usize, "1pct"), (10, "10pct"), (100, "100pct")] {
         bench_incremental(
             &mut s,
+            DeConfig::paper(),
             100_000,
             pct,
             &format!("decision_engine_decide_churn/100000/{tag}"),
+        );
+    }
+
+    // Per-tenant fairness: the weighted-share policy adds a rank-order mass
+    // pass over all live aggregates to every decide, so it gets its own
+    // perf-gated curve (the paper's Unrestricted walk stays delta-priced).
+    for &n in &[10_000usize, 100_000] {
+        let mut cfg = DeConfig::paper();
+        cfg.policy = FastPathPolicy::WeightedScore {
+            weights: HashMap::from([(TenantId(1), 2.0), (TenantId(5), 0.25)]),
+        };
+        bench_incremental(
+            &mut s,
+            cfg,
+            n,
+            1,
+            &format!("decision_engine_decide_tenants/aggregates/{n}"),
         );
     }
 

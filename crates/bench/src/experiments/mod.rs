@@ -11,6 +11,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod tenant_matrix;
 
 use crate::report::Artifact;
 
@@ -27,6 +28,7 @@ pub fn all_ids() -> &'static [&'static str] {
         "fig12",
         "ablations",
         "fault_matrix",
+        "tenant_matrix",
     ]
 }
 
@@ -43,6 +45,7 @@ pub fn run(id: &str, full: bool) -> Option<Vec<Artifact>> {
         "fig12" => Some(fig12::run(full)),
         "ablations" => Some(ablations::run(full)),
         "fault_matrix" => Some(fault_matrix::run(full)),
+        "tenant_matrix" => Some(tenant_matrix::run(full)),
         _ => None,
     }
 }
@@ -52,6 +55,9 @@ pub fn run(id: &str, full: bool) -> Option<Vec<Artifact>> {
 ///
 /// * `fault_matrix` — `fault_matrix.metrics.jsonl` + `fault_matrix.prom`,
 ///   the forced-failure run's full registry snapshot;
+/// * `tenant_matrix` — `tenant_matrix.metrics.jsonl` + `tenant_matrix.prom`,
+///   the unrestricted-policy + churner cell's registry (per-tenant
+///   `ctrl.tenant.*` metrics included);
 /// * `fig12` — `fig12.trace.json`, a Chrome trace-event file of the flow
 ///   migration (load in Perfetto / `chrome://tracing`);
 /// * everything else runs unchanged (telemetry stays zero-config).
@@ -70,6 +76,18 @@ pub fn run_with_telemetry(id: &str, full: bool, dir: &std::path::Path) -> Option
             );
             write(
                 "fault_matrix.prom",
+                fastrak_telemetry::export::prometheus_text(&reg),
+            );
+            Some(arts)
+        }
+        "tenant_matrix" => {
+            let (arts, reg) = tenant_matrix::run_with_export(full);
+            write(
+                "tenant_matrix.metrics.jsonl",
+                fastrak_telemetry::export::metrics_jsonl(&reg),
+            );
+            write(
+                "tenant_matrix.prom",
                 fastrak_telemetry::export::prometheus_text(&reg),
             );
             Some(arts)

@@ -15,6 +15,7 @@ use fastrak_net::flow::FlowAggregate;
 use fastrak_sim::FxHashMap;
 
 use crate::me::AggDemand;
+use crate::policy::{self, FastPathPolicy};
 
 /// Decision engine configuration.
 #[derive(Debug, Clone, Default)]
@@ -33,6 +34,10 @@ pub struct DeConfig {
     pub hysteresis: f64,
     /// All-or-nothing groups.
     pub groups: Vec<Vec<FlowAggregate>>,
+    /// How fast-path entries are shared across tenants (see
+    /// [`crate::policy`]). `Unrestricted` is the paper's behaviour and
+    /// adds no per-epoch cost.
+    pub policy: FastPathPolicy,
 }
 
 impl DeConfig {
@@ -44,6 +49,7 @@ impl DeConfig {
             min_median_pps: 1.0,
             hysteresis: 1.2,
             groups: Vec::new(),
+            policy: FastPathPolicy::Unrestricted,
         }
     }
 
@@ -165,6 +171,14 @@ impl DecisionEngine {
     ) -> Decision {
         let ranked = self.rank(demands);
         let cap = self.cfg.max_offloaded.map_or(budget, |m| m.min(budget));
+        // Per-tenant fairness caps for this walk (no-op — and no cost —
+        // under `Unrestricted`; `WeightedScore` consumes the rank order to
+        // build bit-identical score masses in both engines).
+        let mut tcaps = policy::caps_for_walk(
+            &self.cfg.policy,
+            cap,
+            ranked.iter().map(|s| (s.agg.tenant(), s.score)),
+        );
 
         let mut target: Vec<FlowAggregate> = Vec::new();
         let mut chosen: HashSet<FlowAggregate> = HashSet::new();
@@ -182,18 +196,30 @@ impl DecisionEngine {
             // suffices; see tests.)
             match self.group_of(&s.agg) {
                 Some(group) => {
-                    if target.len() + group.len() <= cap {
+                    if target.len() + group.len() <= cap
+                        && tcaps.admit(
+                            group
+                                .iter()
+                                .filter(|g| !chosen.contains(*g))
+                                .map(|g| g.tenant()),
+                        )
+                    {
                         for g in group {
                             if chosen.insert(*g) {
                                 target.push(*g);
                             }
                         }
                     }
-                    // else: all-or-nothing — skip the whole group.
+                    // else: all-or-nothing — skip the whole group (budget
+                    // overflow or a member tenant at cap).
                 }
                 None => {
-                    chosen.insert(s.agg);
-                    target.push(s.agg);
+                    if tcaps.admit([s.agg.tenant()]) {
+                        chosen.insert(s.agg);
+                        target.push(s.agg);
+                    }
+                    // else: tenant at cap — the walk continues so lower-
+                    // scored tenants with headroom can still fill the table.
                 }
             }
         }
@@ -382,6 +408,110 @@ mod tests {
         // Budget 1: the group cannot fit; agg(3) wins alone.
         let dec = d.decide(&demands, &HashSet::new(), 1);
         assert_eq!(dec.target, vec![agg(3)]);
+    }
+
+    fn tagg(tenant: u32, port: u16) -> FlowAggregate {
+        FlowAggregate::DstApp {
+            tenant: TenantId(tenant),
+            ip: Ip::tenant_vm(9),
+            port,
+        }
+    }
+
+    fn tdemand(tenant: u32, port: u16, m_pps: f64) -> AggDemand {
+        AggDemand {
+            agg: tagg(tenant, port),
+            pps: m_pps,
+            bps: m_pps * 1000.0,
+            n_active: 1,
+            m_pps,
+            m_bps: m_pps * 1000.0,
+        }
+    }
+
+    #[test]
+    fn static_quota_caps_a_dominating_tenant() {
+        // Tenant 1's three aggregates outscore everything; unrestricted, it
+        // takes 3 of the 4 entries.
+        let demands = vec![
+            tdemand(1, 1, 1000.0),
+            tdemand(1, 2, 900.0),
+            tdemand(1, 3, 800.0),
+            tdemand(2, 4, 100.0),
+            tdemand(2, 5, 90.0),
+        ];
+        let dec = de().decide(&demands, &HashSet::new(), 4);
+        assert_eq!(
+            dec.target,
+            vec![tagg(1, 1), tagg(1, 2), tagg(1, 3), tagg(2, 4)]
+        );
+        // A 2-entry quota holds tenant 1 to its share; tenant 2's second
+        // aggregate fills the freed entry.
+        let mut cfg = DeConfig::paper();
+        cfg.policy = FastPathPolicy::StaticQuota {
+            default_cap: 2,
+            caps: HashMap::new(),
+        };
+        let dec = DecisionEngine::new(cfg).decide(&demands, &HashSet::new(), 4);
+        assert_eq!(
+            dec.target,
+            vec![tagg(1, 1), tagg(1, 2), tagg(2, 4), tagg(2, 5)]
+        );
+    }
+
+    #[test]
+    fn static_quota_is_not_work_conserving() {
+        // Only tenant 1 has demand; its quota leaves the rest of the table
+        // empty even though nobody else wants it.
+        let demands: Vec<AggDemand> = (0..5).map(|p| tdemand(1, p, 500.0 + p as f64)).collect();
+        let mut cfg = DeConfig::paper();
+        cfg.policy = FastPathPolicy::StaticQuota {
+            default_cap: 3,
+            caps: HashMap::new(),
+        };
+        let dec = DecisionEngine::new(cfg).decide(&demands, &HashSet::new(), 6);
+        assert_eq!(dec.target.len(), 3);
+    }
+
+    #[test]
+    fn weighted_score_redistributes_unused_share() {
+        // Tenant 1 holds most of the score mass but can only use one entry;
+        // water-filling hands its leftover share to tenant 2.
+        let mut demands = vec![tdemand(1, 1, 10_000.0)];
+        demands.extend((0..6).map(|p| tdemand(2, 10 + p, 100.0)));
+        let mut cfg = DeConfig::paper();
+        cfg.policy = FastPathPolicy::WeightedScore {
+            weights: HashMap::new(),
+        };
+        let dec = DecisionEngine::new(cfg).decide(&demands, &HashSet::new(), 6);
+        assert_eq!(dec.target.len(), 6, "work-conserving: the table fills");
+        let t2 = dec
+            .target
+            .iter()
+            .filter(|a| a.tenant() == TenantId(2))
+            .count();
+        assert_eq!(t2, 5);
+    }
+
+    #[test]
+    fn weighted_score_respects_weights() {
+        // Equal per-aggregate scores; tenant 2 weighted 3×: of 4 entries it
+        // gets 3.
+        let demands: Vec<AggDemand> = (0..4)
+            .map(|p| tdemand(1, p, 100.0))
+            .chain((0..4).map(|p| tdemand(2, 10 + p, 100.0)))
+            .collect();
+        let mut cfg = DeConfig::paper();
+        cfg.policy = FastPathPolicy::WeightedScore {
+            weights: HashMap::from([(TenantId(2), 3.0)]),
+        };
+        let dec = DecisionEngine::new(cfg).decide(&demands, &HashSet::new(), 4);
+        let t2 = dec
+            .target
+            .iter()
+            .filter(|a| a.tenant() == TenantId(2))
+            .count();
+        assert_eq!(t2, 3, "3:1 weights over 4 entries: {:?}", dec.target);
     }
 
     #[test]

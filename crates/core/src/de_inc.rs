@@ -46,6 +46,7 @@ use fastrak_sim::FxHashMap;
 
 use crate::de::{DeConfig, Decision};
 use crate::me::AggDemand;
+use crate::policy;
 
 /// Ordered-index key. `BTreeSet`'s ascending order must equal the full-scan
 /// `rank` order (score descending, aggregate ascending), so the score is
@@ -206,10 +207,28 @@ impl IncrementalDecisionEngine {
     /// fast-path entries the DE may use).
     pub fn decide(&mut self, offloaded: &HashSet<FlowAggregate>, budget: usize) -> Decision {
         let cap = self.cfg.max_offloaded.map_or(budget, |m| m.min(budget));
+        // Per-tenant fairness caps (see [`crate::policy`]). `Unrestricted`
+        // pays nothing — the iterator below is never consumed. For
+        // `WeightedScore` the score order `ord` is walked front to back,
+        // the exact sequence the oracle's sorted ranking yields
+        // (`f64::from_bits(!inv_bits)` recovers each score bit-exactly),
+        // so the per-tenant f64 masses agree between engines. That mass
+        // pass is O(n) — the one policy whose bookkeeping scales with the
+        // index, bounded by the `decision_engine_decide_tenants` bench.
+        let mut tcaps = policy::caps_for_walk(
+            &self.cfg.policy,
+            cap,
+            self.ord
+                .iter()
+                .map(|k| (k.agg.tenant(), f64::from_bits(!k.inv_bits))),
+        );
 
         // Greedy top-k walk over the score order — identical order and
         // group handling to the oracle's scan of its sorted `ranked` vec,
-        // but touching only the fringe needed to fill `cap`.
+        // but touching only the fringe needed to fill `cap`. (Under a
+        // tenant-cap policy the walk can run past the fringe: a capped
+        // tenant's aggregates are skipped until tenants with headroom fill
+        // the table.)
         let mut target: Vec<FlowAggregate> = Vec::new();
         let mut chosen: HashSet<FlowAggregate> = HashSet::new();
         let mut scanned = 0u64;
@@ -224,18 +243,28 @@ impl IncrementalDecisionEngine {
             match self.group_idx.get(&key.agg) {
                 Some(&gi) => {
                     let group = &self.cfg.groups[gi];
-                    if target.len() + group.len() <= cap {
+                    if target.len() + group.len() <= cap
+                        && tcaps.admit(
+                            group
+                                .iter()
+                                .filter(|g| !chosen.contains(*g))
+                                .map(|g| g.tenant()),
+                        )
+                    {
                         for g in group {
                             if chosen.insert(*g) {
                                 target.push(*g);
                             }
                         }
                     }
-                    // else: all-or-nothing — skip the whole group.
+                    // else: all-or-nothing — skip the whole group (budget
+                    // overflow or a member tenant at cap).
                 }
                 None => {
-                    chosen.insert(key.agg);
-                    target.push(key.agg);
+                    if tcaps.admit([key.agg.tenant()]) {
+                        chosen.insert(key.agg);
+                        target.push(key.agg);
+                    }
                 }
             }
         }
@@ -462,6 +491,45 @@ mod tests {
         let demands = vec![demand(1, 1000.0, 2), demand(2, 1.5, 2), demand(3, 500.0, 2)];
         for budget in [1usize, 2, 3] {
             assert_matches_oracle(cfg.clone(), &demands, &HashSet::new(), budget);
+        }
+    }
+
+    #[test]
+    fn tenant_policies_match_oracle() {
+        use crate::policy::FastPathPolicy;
+        use std::collections::HashMap;
+        fn tagg(tenant: u32, port: u16) -> FlowAggregate {
+            FlowAggregate::DstApp {
+                tenant: TenantId(tenant),
+                ip: Ip::tenant_vm(9),
+                port,
+            }
+        }
+        let demands: Vec<AggDemand> = (0..12u16)
+            .map(|i| AggDemand {
+                agg: tagg(1 + (i % 3) as u32, i),
+                pps: 100.0 + 37.0 * i as f64,
+                bps: 1000.0,
+                n_active: 1 + (i % 4) as u32,
+                m_pps: 100.0 + 37.0 * i as f64,
+                m_bps: 1000.0,
+            })
+            .collect();
+        let policies = [
+            FastPathPolicy::StaticQuota {
+                default_cap: 2,
+                caps: HashMap::from([(TenantId(2), 1)]),
+            },
+            FastPathPolicy::WeightedScore {
+                weights: HashMap::from([(TenantId(1), 2.0), (TenantId(3), 0.5)]),
+            },
+        ];
+        for policy in policies {
+            let mut cfg = DeConfig::paper();
+            cfg.policy = policy;
+            for budget in [2usize, 4, 6, 12] {
+                assert_matches_oracle(cfg.clone(), &demands, &HashSet::new(), budget);
+            }
         }
     }
 

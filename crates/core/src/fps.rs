@@ -82,10 +82,15 @@ pub fn fps_split(cfg: &FpsConfig, input: FpsInput) -> FpsSplit {
     };
     let overflow = l * cfg.overflow_frac;
     let ls = l * share_s;
-    let lh = l - ls;
+    // The hardware side takes the remainder of the *rounded total* budget
+    // rather than rounding `lh + O` independently: when both halves landed
+    // on .5 boundaries, independent rounding pushed the sum to `L + 2O + 1`,
+    // breaking the aggregate-limit invariant the property test pins.
+    let total = (l + 2.0 * overflow).floor() as u64;
+    let sw_bps = ((ls + overflow).round() as u64).min(total);
     FpsSplit {
-        sw_bps: (ls + overflow).round() as u64,
-        hw_bps: (lh + overflow).round() as u64,
+        sw_bps,
+        hw_bps: total - sw_bps,
     }
 }
 
@@ -134,8 +139,58 @@ mod tests {
                     hw_maxed: false,
                 },
             );
-            let bound = (l as f64 * (1.0 + 2.0 * cfg().overflow_frac)) as u64 + 2;
+            // Exact bound — no rounding slack (the old `+2` fudge hid a
+            // double-round-up that could exceed the budget by one).
+            let bound = (l as f64 * (1.0 + 2.0 * cfg().overflow_frac)) as u64;
             assert!(s.sw_bps + s.hw_bps <= bound, "{s:?} exceeds {bound}");
+        }
+    }
+
+    /// Property test (ISSUE 8 satellite): across seeded random limits,
+    /// demands, maxed-out escalations, and config corners, the two limits
+    /// never sum past the budget `L + 2O`, and neither side starves below
+    /// its min-share floor (minus rounding).
+    #[test]
+    fn split_invariants_hold_for_seeded_random_inputs() {
+        // Deterministic xorshift64* (same shape as the de_differential rig).
+        let mut state = 0xF95_5EEDu64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for case in 0..20_000u32 {
+            let c = FpsConfig {
+                overflow_frac: (next() % 21) as f64 * 0.01,
+                min_share: (next() % 41) as f64 * 0.01,
+                maxed_boost: 1.0 + (next() % 30) as f64 * 0.1,
+            };
+            // Odd limits matter: the double-round-up needs fractional halves.
+            let limit_bps = 1 + next() % 10_000_000_000;
+            let input = FpsInput {
+                limit_bps,
+                sw_demand_bps: (next() % (2 * limit_bps)) as f64 * 0.9,
+                hw_demand_bps: (next() % (2 * limit_bps)) as f64 * 0.9,
+                sw_maxed: next() % 2 == 0,
+                hw_maxed: next() % 2 == 0,
+            };
+            let s = fps_split(&c, input);
+            // The budget as the spec defines it: O = L·overflow_frac,
+            // bound = L + 2O (computed with the same f64 associativity).
+            let o = limit_bps as f64 * c.overflow_frac;
+            let budget = (limit_bps as f64 + 2.0 * o).floor() as u64;
+            assert!(
+                s.sw_bps + s.hw_bps <= budget,
+                "case {case}: {s:?} exceeds L+2O={budget} for {input:?} under {c:?}"
+            );
+            // Each side keeps at least its min-share floor of L (rounding
+            // can shave at most one unit).
+            let floor = (limit_bps as f64 * c.min_share.min(0.5)).floor() as u64;
+            assert!(
+                s.sw_bps + 1 >= floor && s.hw_bps + 1 >= floor,
+                "case {case}: {s:?} starves a side below min_share {c:?}"
+            );
         }
     }
 

@@ -24,6 +24,8 @@ pub mod de_inc;
 pub mod fps;
 pub mod local;
 pub mod me;
+pub mod meter;
+pub mod policy;
 pub mod protocol;
 pub mod rules;
 pub mod tor_ctrl;
@@ -33,6 +35,8 @@ pub use de_inc::{DeEpochStats, IncrementalDecisionEngine, ShardEpoch, ShardedDec
 pub use fps::{fps_split, FpsConfig, FpsInput, FpsSplit};
 pub use local::{LocalController, LocalControllerConfig, Timing};
 pub use me::{AggDemand, DemandDelta, MeasurementEngine, VmDemandProfile};
+pub use meter::{epoch_rates, RateSummary, RateWindow};
+pub use policy::FastPathPolicy;
 pub use protocol::{DemandReport, MigrationPrepare, OffloadDecision, VmLimit};
 pub use rules::{RuleManager, SynthesisError};
 pub use tor_ctrl::{CtrlCounterIds, CtrlPlaneConfig, TorController, TorControllerConfig};
@@ -171,6 +175,35 @@ impl FasTrak {
                 MigrationPrepare { tenant, vm_ip },
             )),
         );
+    }
+
+    /// Publish the controllers' per-tenant `ctrl.tenant.*` metrics into
+    /// the testbed's telemetry registry — fast-path occupancy from the TOR
+    /// controller, FPS sw/hw splits summed across the local controllers.
+    /// Pull-model, same contract as `Testbed::publish_telemetry`: call at
+    /// collection points; hot paths never touch the registry.
+    pub fn publish_telemetry(&self, bed: &mut Testbed) {
+        let mut reg = std::mem::take(&mut bed.kernel.ctx.telemetry.registry);
+        bed.kernel
+            .node_mut::<TorController>(self.tor_ctrl)
+            .publish_telemetry(&mut reg);
+        let mut per: std::collections::BTreeMap<fastrak_net::addr::TenantId, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for &l in &self.locals {
+            for (t, (sw, hw)) in bed.kernel.node::<LocalController>(l).tenant_fps_totals() {
+                let e = per.entry(t).or_default();
+                e.0 += sw;
+                e.1 += hw;
+            }
+        }
+        for (t, (sw, hw)) in per {
+            let label = t.0.to_string();
+            let g = reg.gauge("ctrl.tenant.fps_sw_bps", &[("tenant", &label)]);
+            reg.gauge_set(g, sw as f64);
+            let g = reg.gauge("ctrl.tenant.fps_hw_bps", &[("tenant", &label)]);
+            reg.gauge_set(g, hw as f64);
+        }
+        bed.kernel.ctx.telemetry.registry = reg;
     }
 
     /// The set of currently offloaded aggregates (inspection).

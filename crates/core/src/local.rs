@@ -367,6 +367,26 @@ impl LocalController {
         }
     }
 
+    /// Per-tenant (sw_bps, hw_bps) FPS-split totals over this server's
+    /// rate-limited VMs, both directions summed — the deployment layer
+    /// aggregates these across servers into the `ctrl.tenant.fps_*_bps`
+    /// gauges (pull-model; sorted map so publication order is
+    /// deterministic).
+    pub fn tenant_fps_totals(&self) -> std::collections::BTreeMap<TenantId, (u64, u64)> {
+        let mut per: std::collections::BTreeMap<TenantId, (u64, u64)> =
+            std::collections::BTreeMap::new();
+        for l in &self.cfg.limits {
+            for d in [0u8, 1u8] {
+                if let Some(&(sw, hw)) = self.last_split.get(&(l.vm_ip, d)) {
+                    let e = per.entry(l.tenant).or_default();
+                    e.0 += sw;
+                    e.1 += hw;
+                }
+            }
+        }
+        per
+    }
+
     /// Current split for a (vm, dir) — test/inspection hook.
     pub fn split_of(&self, vm_ip: Ip, dir: Dir) -> Option<(u64, u64)> {
         let d = match dir {

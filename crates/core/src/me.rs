@@ -14,11 +14,12 @@
 //! make offload decisions for cloned/migrated VMs immediately.
 
 use fastrak_sim::FxHashMap;
-use std::collections::VecDeque;
 
 use fastrak_net::addr::{Ip, TenantId};
 use fastrak_net::ctrl::FlowStatEntry;
 use fastrak_net::flow::FlowAggregate;
+
+use crate::meter::{self, RateWindow};
 
 /// One aggregate's measured demand in the current report.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,32 +54,12 @@ pub struct DemandDelta {
 struct AggState {
     /// Cumulative (packets, bytes) at the epoch's first sample.
     sample_a: Option<(u64, u64)>,
-    /// Per-epoch pps/bps history (bounded at N×M).
-    hist: VecDeque<(f64, f64)>,
-    last_pps: f64,
-    last_bps: f64,
+    /// Per-epoch pps/bps history (bounded at N×M); see [`RateWindow`] for
+    /// the steady-rate change detection and the median convention.
+    win: RateWindow,
     /// Demand possibly changed since the last [`MeasurementEngine::delta_report`]
     /// drain (set when an epoch push alters the history window's contents).
     dirty: bool,
-}
-
-impl AggState {
-    /// Push one closed epoch's rates into the bounded history. Returns
-    /// whether the demand report row could have changed: every field of
-    /// [`AggDemand`] is a function of the window multiset and the last
-    /// sample, so a full window that evicts exactly the value being pushed,
-    /// with an unchanged last sample, leaves the row untouched — the
-    /// steady-rate case the delta path exploits.
-    fn push_epoch(&mut self, pps: f64, bps: f64, cap: usize) -> bool {
-        let v = (pps, bps);
-        let prev_back = self.hist.back().copied();
-        let full = self.hist.len() >= cap;
-        let popped = if full { self.hist.pop_front() } else { None };
-        self.hist.push_back(v);
-        self.last_pps = pps;
-        self.last_bps = bps;
-        !(full && popped == Some(v) && prev_back == Some(v))
-    }
 }
 
 /// The measurement engine: fed cumulative stat dumps, produces demand
@@ -148,30 +129,36 @@ impl MeasurementEngine {
         self.epochs_done += 1;
         let gap = self.sample_gap_secs;
         let hist_len = self.history_len;
-        // Aggregates present in this dump.
-        for (agg, (p2, b2)) in &folded {
+        // Aggregates present in this dump. An unmeasurable epoch (no
+        // baseline, or the cumulative counters went backwards after a rule
+        // reset — see [`meter::epoch_rates`]) pushes nothing: the window
+        // keeps its history and the next sample A re-baselines.
+        for (agg, cur) in &folded {
             let st = self.aggs.entry(*agg).or_default();
-            let (p1, b1) = st.sample_a.take().unwrap_or((*p2, *b2));
-            let pps = (p2.saturating_sub(p1)) as f64 / gap;
-            let bps = (b2.saturating_sub(b1)) as f64 / gap;
-            if st.push_epoch(pps, bps, hist_len) {
-                Self::mark_dirty(&mut self.dirty_list, *agg, st);
-            }
-        }
-        // Aggregates we know but which vanished from the dump: zero epoch.
-        for (agg, st) in self.aggs.iter_mut() {
-            if !folded.contains_key(agg) {
-                st.sample_a = None;
-                if st.push_epoch(0.0, 0.0, hist_len) {
+            if let Some((pps, bps)) = meter::epoch_rates(st.sample_a.take(), *cur, gap) {
+                if st.win.push(pps, bps, hist_len) {
                     Self::mark_dirty(&mut self.dirty_list, *agg, st);
                 }
             }
         }
-        // Drop aggregates idle across the whole remembered history.
+        // Aggregates we know but which vanished from the dump: zero epoch
+        // (genuinely idle — distinct from a reset, where the flow is still
+        // present but its counters restarted).
+        for (agg, st) in self.aggs.iter_mut() {
+            if !folded.contains_key(agg) {
+                st.sample_a = None;
+                if st.win.push(0.0, 0.0, hist_len) {
+                    Self::mark_dirty(&mut self.dirty_list, *agg, st);
+                }
+            }
+        }
+        // Drop aggregates idle across the whole remembered history. A
+        // never-measured window (empty: the aggregate appeared mid-epoch and
+        // was never reported) is dropped silently — no removal delta.
         let removed_pending = &mut self.removed_pending;
         self.aggs.retain(|agg, st| {
-            let keep = st.hist.iter().any(|&(p, _)| p > 0.0);
-            if !keep {
+            let keep = !st.win.idle();
+            if !keep && !st.win.is_empty() {
                 removed_pending.push(*agg);
             }
             keep
@@ -183,23 +170,18 @@ impl MeasurementEngine {
         self.epochs_done
     }
 
-    /// One aggregate's report row (None while no epoch has closed).
+    /// One aggregate's report row (None while no epoch has closed). The
+    /// median convention (upper median on even windows) is documented on
+    /// [`RateWindow`].
     fn demand_row(agg: FlowAggregate, st: &AggState) -> Option<AggDemand> {
-        let mut pps_hist: Vec<f64> = st.hist.iter().map(|&(p, _)| p).collect();
-        let mut bps_hist: Vec<f64> = st.hist.iter().map(|&(_, b)| b).collect();
-        if pps_hist.is_empty() {
-            return None;
-        }
-        pps_hist.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        bps_hist.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mid = pps_hist.len() / 2;
+        let s = st.win.summary()?;
         Some(AggDemand {
             agg,
-            pps: st.last_pps,
-            bps: st.last_bps,
-            n_active: st.hist.iter().filter(|&&(p, _)| p > 0.0).count() as u32,
-            m_pps: pps_hist[mid],
-            m_bps: bps_hist[mid],
+            pps: s.pps,
+            bps: s.bps,
+            n_active: s.n_active,
+            m_pps: s.m_pps,
+            m_bps: s.m_bps,
         })
     }
 
@@ -264,7 +246,7 @@ impl MeasurementEngine {
                 }
             };
             if owned {
-                entries.push((*agg, st.hist.iter().copied().collect()));
+                entries.push((*agg, st.win.history()));
             }
         }
         VmDemandProfile {
@@ -278,13 +260,9 @@ impl MeasurementEngine {
     pub fn import_profile(&mut self, profile: VmDemandProfile) {
         for (agg, hist) in profile.entries {
             let st = self.aggs.entry(agg).or_default();
-            if st.hist.is_empty() {
-                st.hist = hist.into();
-                if let Some(&(p, b)) = st.hist.back() {
-                    st.last_pps = p;
-                    st.last_bps = b;
-                }
-                if !st.hist.is_empty() {
+            if st.win.is_empty() {
+                st.win = RateWindow::from_history(hist);
+                if !st.win.is_empty() {
                     Self::mark_dirty(&mut self.dirty_list, agg, st);
                 }
             }
@@ -392,6 +370,38 @@ mod tests {
         me.epoch_sample_a(&[]);
         me.epoch_sample_b(&[]);
         assert!(me.report().is_empty(), "idle aggregates must age out");
+    }
+
+    /// Satellite regression (ISSUE 8): a ToR rule removed and reinstalled
+    /// mid-epoch restarts its cumulative counters, so sample B reads below
+    /// sample A. The old `saturating_sub` turned every such epoch into a
+    /// zero-rate epoch — under-scoring the hot aggregate and, with repeated
+    /// resets, letting the idle age-out evict it entirely. The fix skips the
+    /// unmeasurable epoch and re-baselines, so demand must not collapse.
+    #[test]
+    fn counter_reset_rebaselines_instead_of_collapsing() {
+        let mut me = MeasurementEngine::new(1.0, 2);
+        let k = key(1, 2, 40_000, 11211);
+        // Two clean epochs at 1000 pps: a genuinely hot flow.
+        me.epoch_sample_a(&[entry(k, 0, 0)]);
+        me.epoch_sample_b(&[entry(k, 1000, 1_400_000)]);
+        me.epoch_sample_a(&[entry(k, 1000, 1_400_000)]);
+        me.epoch_sample_b(&[entry(k, 2000, 2_800_000)]);
+        // The rule is removed and reinstalled mid-epoch twice in a row
+        // (demote→re-offload churn): counters restart below the baseline.
+        me.epoch_sample_a(&[entry(k, 2000, 2_800_000)]);
+        me.epoch_sample_b(&[entry(k, 300, 420_000)]);
+        me.epoch_sample_a(&[entry(k, 300, 420_000)]);
+        me.epoch_sample_b(&[entry(k, 150, 210_000)]);
+        let rep = me.report();
+        assert!(
+            !rep.is_empty(),
+            "hot aggregate must survive counter resets (age-out evicted it)"
+        );
+        for d in &rep {
+            assert!(d.pps >= 900.0, "last-epoch rate collapsed: {}", d.pps);
+            assert!(d.m_pps >= 900.0, "median rate collapsed: {}", d.m_pps);
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::de_inc::DeEpochStats;
 #[cfg(not(feature = "full-scan-de"))]
 use crate::de_inc::IncrementalDecisionEngine;
 use crate::me::AggDemand;
+use crate::meter::{self, RateWindow};
 use crate::protocol::{DemandReport, MigrationPrepare, OffloadDecision};
 use crate::rules::RuleManager;
 
@@ -173,12 +174,16 @@ pub struct TorControllerConfig {
     pub counters: CtrlCounterIds,
 }
 
-/// Epoch-pair meter over the ToR's per-rule cumulative counters.
+/// Epoch-pair meter over the ToR's per-rule cumulative counters. The
+/// Δcounter and history/median logic is [`crate::meter`]'s — shared with
+/// the per-server measurement engine so the two planes cannot drift, and so
+/// a rule removed + reinstalled (GC/reconciliation churn restarts its
+/// counters) re-baselines instead of reading as a zero-rate epoch.
 #[derive(Default)]
 struct HwMeter {
     sample_a: HashMap<FlowAggregate, (u64, u64)>,
-    /// Per-aggregate (pps, Bps) history.
-    hist: HashMap<FlowAggregate, Vec<(f64, f64)>>,
+    /// Per-aggregate rate history.
+    hist: HashMap<FlowAggregate, RateWindow>,
     cap: usize,
 }
 
@@ -214,35 +219,25 @@ impl HwMeter {
         gap_secs: f64,
     ) {
         let folded = Self::fold(entries, map);
-        for (agg, (p2, b2)) in folded {
-            let (p1, b1) = self.sample_a.get(&agg).copied().unwrap_or((p2, b2));
-            let h = self.hist.entry(agg).or_default();
-            h.push((
-                p2.saturating_sub(p1) as f64 / gap_secs,
-                b2.saturating_sub(b1) as f64 / gap_secs,
-            ));
-            let cap = self.cap.max(1);
-            if h.len() > cap {
-                h.remove(0);
+        for (agg, cur) in folded {
+            // Unmeasurable epochs (no baseline, or counters restarted after
+            // a rule reinstall) push nothing; see [`meter::epoch_rates`].
+            let baseline = self.sample_a.get(&agg).copied();
+            if let Some((pps, bps)) = meter::epoch_rates(baseline, cur, gap_secs) {
+                self.hist.entry(agg).or_default().push(pps, bps, self.cap);
             }
         }
     }
 
     fn demand(&self, agg: &FlowAggregate) -> Option<AggDemand> {
-        let h = self.hist.get(agg)?;
-        if h.is_empty() {
-            return None;
-        }
-        let mut pps: Vec<f64> = h.iter().map(|&(p, _)| p).collect();
-        pps.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let last = *h.last().unwrap();
+        let s = self.hist.get(agg)?.summary()?;
         Some(AggDemand {
             agg: *agg,
-            pps: last.0,
-            bps: last.1,
-            n_active: h.iter().filter(|&&(p, _)| p > 0.0).count() as u32,
-            m_pps: pps[pps.len() / 2],
-            m_bps: last.1,
+            pps: s.pps,
+            bps: s.bps,
+            n_active: s.n_active,
+            m_pps: s.m_pps,
+            m_bps: s.m_bps,
         })
     }
 
@@ -311,6 +306,12 @@ pub struct TorController {
     pub entries_used: usize,
     /// Decision rounds executed.
     pub rounds: u64,
+    /// Tenants ever seen in the offloaded set — remembered so
+    /// [`TorController::publish_telemetry`] can zero a tenant's occupancy
+    /// gauges after its last entry is demoted (a stale last-nonzero gauge
+    /// would misreport the fairness picture). BTreeSet: registration order
+    /// must be deterministic.
+    telemetry_tenants: std::collections::BTreeSet<TenantId>,
 }
 
 impl TorController {
@@ -341,7 +342,29 @@ impl TorController {
             hw_suspended_until: None,
             entries_used: 0,
             rounds: 0,
+            telemetry_tenants: std::collections::BTreeSet::new(),
             cfg,
+        }
+    }
+
+    /// Publish per-tenant fast-path occupancy into the registry
+    /// (pull-model, like `Testbed::publish_telemetry` — call at collection
+    /// points, never from the hot path): `ctrl.tenant.offloaded_entries`
+    /// and `ctrl.tenant.occupancy_share` gauges, labelled by tenant.
+    pub fn publish_telemetry(&mut self, reg: &mut Registry) {
+        let mut per: std::collections::BTreeMap<TenantId, u64> = std::collections::BTreeMap::new();
+        for a in &self.offloaded {
+            *per.entry(a.tenant()).or_default() += 1;
+        }
+        self.telemetry_tenants.extend(per.keys().copied());
+        let budget = self.cfg.budget.max(1) as f64;
+        for &t in &self.telemetry_tenants {
+            let n = per.get(&t).copied().unwrap_or(0);
+            let label = t.0.to_string();
+            let g = reg.gauge("ctrl.tenant.offloaded_entries", &[("tenant", &label)]);
+            reg.gauge_set(g, n as f64);
+            let g = reg.gauge("ctrl.tenant.occupancy_share", &[("tenant", &label)]);
+            reg.gauge_set(g, n as f64 / budget);
         }
     }
 
@@ -363,6 +386,16 @@ impl TorController {
     /// Currently offloaded aggregates (inspection).
     pub fn offloaded(&self) -> &HashSet<FlowAggregate> {
         &self.offloaded
+    }
+
+    /// Bump a per-tenant transition counter (`ctrl.tenant.offloads` /
+    /// `ctrl.tenant.demotes`). Lazily registered — the registry dedups by
+    /// (name, labels) — and only ever called on an actual offloaded-set
+    /// transition, so rates derived from these counters are exact.
+    fn count_tenant_transition(reg: &mut Registry, name: &str, t: TenantId) {
+        let label = t.0.to_string();
+        let id = reg.counter(name, &[("tenant", &label)]);
+        reg.inc(id);
     }
 
     fn request_tor_dump(&mut self, api: &mut Api<'_, Event, NetCtx>, phase_b: bool) {
@@ -484,7 +517,13 @@ impl TorController {
                     self.spec_to_agg.remove(&s);
                     specs.push(s);
                 }
-                self.offloaded.remove(agg);
+                if self.offloaded.remove(agg) {
+                    Self::count_tenant_transition(
+                        &mut api.ctx.telemetry.registry,
+                        "ctrl.tenant.demotes",
+                        agg.tenant(),
+                    );
+                }
                 self.hw.forget(agg);
             }
             if !specs.is_empty() {
@@ -725,7 +764,15 @@ impl TorController {
         if ok {
             self.consecutive_install_failures = 0;
             for a in &txn.aggs {
-                self.offloaded.insert(*a);
+                if self.offloaded.insert(*a) {
+                    // Offloads commit here (on Ack): failed installs never
+                    // count as transitions.
+                    Self::count_tenant_transition(
+                        &mut api.ctx.telemetry.registry,
+                        "ctrl.tenant.offloads",
+                        a.tenant(),
+                    );
+                }
             }
             self.broadcast(api, txn.broadcast);
         } else {
@@ -867,7 +914,13 @@ impl TorController {
                 .registry
                 .add(self.cfg.counters.reconcile_lost_demoted, lost.len() as u64);
             for a in &lost {
-                self.offloaded.remove(a);
+                if self.offloaded.remove(a) {
+                    Self::count_tenant_transition(
+                        &mut api.ctx.telemetry.registry,
+                        "ctrl.tenant.demotes",
+                        a.tenant(),
+                    );
+                }
                 self.hw.forget(a);
             }
             self.rollback_install(&lost);
@@ -925,7 +978,13 @@ impl TorController {
                 self.spec_to_agg.remove(&s);
                 specs.push(s);
             }
-            self.offloaded.remove(agg);
+            if self.offloaded.remove(agg) {
+                Self::count_tenant_transition(
+                    &mut api.ctx.telemetry.registry,
+                    "ctrl.tenant.demotes",
+                    agg.tenant(),
+                );
+            }
             self.hw.forget(agg);
         }
         self.entries_used -= specs.len();

@@ -558,3 +558,28 @@ fn deterministic_offload_decisions() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn per_tenant_telemetry_exported() {
+    let (mut bed, _mc, _cli) = build();
+    let ft = attach(&mut bed, FasTrakConfig::default());
+    ft.start(&mut bed);
+    bed.start();
+    bed.run_until(SimTime::from_secs(5));
+    ft.publish_telemetry(&mut bed);
+    let reg = &bed.kernel.ctx.telemetry.registry;
+    // The memcached workload offloads within 5 s, so tenant 1 must have
+    // committed offload transitions and hold fast-path entries.
+    let offloads = reg
+        .counter_by_name("ctrl.tenant.offloads{tenant=1}")
+        .unwrap_or(0);
+    assert!(offloads >= 1, "tenant-1 offload transitions: {offloads}");
+    let entries = reg
+        .gauge_by_name("ctrl.tenant.offloaded_entries{tenant=1}")
+        .unwrap_or(0.0);
+    assert!(entries >= 1.0, "tenant-1 occupancy: {entries}");
+    let share = reg
+        .gauge_by_name("ctrl.tenant.occupancy_share{tenant=1}")
+        .unwrap_or(0.0);
+    assert!(share > 0.0 && share <= 1.0, "occupancy share: {share}");
+}

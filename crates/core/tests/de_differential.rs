@@ -9,10 +9,11 @@
 //! target). Every round's `Decision` must be structurally identical across
 //! all three, and replaying the same seed must be bit-identical.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use fastrak::{
-    AggDemand, DeConfig, Decision, DecisionEngine, IncrementalDecisionEngine, MeasurementEngine,
+    AggDemand, DeConfig, Decision, DecisionEngine, FastPathPolicy, IncrementalDecisionEngine,
+    MeasurementEngine,
 };
 use fastrak_net::addr::{Ip, TenantId};
 use fastrak_net::ctrl::FlowStatEntry;
@@ -183,6 +184,56 @@ fn grouped_and_prioritized_config_agrees() {
         .collect();
     let decisions = run_differential(cfg, 0xFA57_0003, 300, 1000);
     assert!(decisions.iter().any(|d| !d.offload.is_empty()));
+}
+
+#[test]
+fn static_quota_policy_agrees() {
+    let mut cfg = DeConfig::paper();
+    cfg.policy = FastPathPolicy::StaticQuota {
+        default_cap: 8,
+        caps: HashMap::from([(TenantId(2), 4)]),
+    };
+    let decisions = run_differential(cfg, 0xFA57_0004, 300, 1000);
+    assert!(decisions.iter().any(|d| !d.offload.is_empty()));
+    // The cap is enforced every round: a tenant may exceed its quota by at
+    // most one entry, and only via the hysteresis incumbent-swap transient
+    // (documented in `policy`). Tenants here are 1..=3 (`agg` maps i%3).
+    for (round, d) in decisions.iter().enumerate() {
+        let mut per_tenant: HashMap<TenantId, usize> = HashMap::new();
+        for a in &d.target {
+            *per_tenant.entry(a.tenant()).or_default() += 1;
+        }
+        for (t, n) in per_tenant {
+            let cap = if t == TenantId(2) { 4 } else { 8 };
+            assert!(
+                n <= cap + 1,
+                "round {round}: tenant {t:?} holds {n} entries, cap {cap}"
+            );
+        }
+    }
+}
+
+#[test]
+fn weighted_score_policy_agrees() {
+    let mut cfg = DeConfig::paper();
+    cfg.hysteresis = 1.5;
+    cfg.policy = FastPathPolicy::WeightedScore {
+        weights: HashMap::from([(TenantId(1), 2.0), (TenantId(3), 0.5)]),
+    };
+    let decisions = run_differential(cfg, 0xFA57_0005, 300, 1000);
+    assert!(decisions.iter().any(|d| !d.offload.is_empty()));
+    assert!(decisions.iter().any(|d| !d.demote.is_empty()));
+}
+
+#[test]
+fn weighted_policy_replay_is_bit_identical() {
+    let mut cfg = DeConfig::paper();
+    cfg.policy = FastPathPolicy::WeightedScore {
+        weights: HashMap::from([(TenantId(2), 3.0)]),
+    };
+    let a = run_differential(cfg.clone(), 0xFA57_0006, 250, 600);
+    let b = run_differential(cfg, 0xFA57_0006, 250, 600);
+    assert_eq!(a, b, "same seed must replay the same decision log");
 }
 
 #[test]

@@ -16,6 +16,7 @@ pub mod composite;
 pub mod memcached;
 pub mod rr;
 pub mod stream;
+pub mod tenants;
 pub mod testbed;
 
 pub use background::{Idle, IoZone, Stress};
@@ -23,6 +24,10 @@ pub use composite::Composite;
 pub use memcached::{memcached_server, Memcached, MemslapClient, MemslapConfig, MEMCACHED_PORT};
 pub use rr::{RrClient, RrClientConfig, RrServer, RrServerConfig};
 pub use stream::{FileTransfer, StreamConfig, StreamSender, StreamSink};
+pub use tenants::{
+    add_churner, zipf_weights, Churner, ChurnerConfig, ChurnerSetup, EchoRangeServer, FleetTenant,
+    TenantFleet, TenantFleetConfig,
+};
 pub use testbed::{tenant_vlan, Testbed, TestbedConfig, VmRef};
 
 #[cfg(test)]
