@@ -11,6 +11,7 @@ use fastrak_bench::harness::{black_box, Suite};
 use fastrak_net::addr::{Ip, Mac, TenantId};
 use fastrak_net::flow::{FlowKey, Proto};
 use fastrak_net::packet::{Encap, L4Meta, Packet};
+use fastrak_sim::chaos::ChaosConfig;
 use fastrak_sim::fault::{FaultConfig, FaultLayer};
 use fastrak_sim::kernel::{Api, Kernel, Node};
 use fastrak_sim::time::{SimDuration, SimTime};
@@ -190,6 +191,45 @@ fn main() {
     s.bench("des_kernel_100k_events_zero_fault", || {
         let mut k = Kernel::new((), 1);
         k.set_fault_layer(FaultLayer::new(FaultConfig::default(), |_| true, |_| None));
+        let a = k.add_node(Ping {
+            peer: 1,
+            left: 50_000,
+        });
+        let _b = k.add_node(Ping {
+            peer: a,
+            left: 50_000,
+        });
+        k.post(a, SimTime::ZERO, 0);
+        k.run_to_completion();
+        black_box(k.events_processed());
+    });
+
+    // Same workload with a fault plane carrying a scripted (but never-
+    // firing) chaos config: the per-send window scan and the lazy epoch
+    // checks must stay near-free when no window covers the run. The perf
+    // gate holds this within ratio of the hook-free bench above.
+    s.bench("des_kernel_100k_events_idle_chaos", || {
+        let mut k = Kernel::new((), 1);
+        let far = SimTime::from_secs(3_600);
+        let later = SimTime::from_secs(7_200);
+        k.set_fault_layer(
+            FaultLayer::new(
+                FaultConfig {
+                    chaos: ChaosConfig {
+                        tor_outages: vec![(0, far, later)],
+                        vf_outages: vec![(0, far, later)],
+                        link_flaps: vec![(0, 1, far, later)],
+                        controller_restarts: vec![(0, far)],
+                    },
+                    ..FaultConfig::default()
+                },
+                |_| true,
+                |_| None,
+            )
+            // Every event counts as a data-plane frame, so each send walks
+            // the chaos plane's window scan — the cost under measurement.
+            .with_frame_classifier(|_| true),
+        );
         let a = k.add_node(Ping {
             peer: 1,
             left: 50_000,

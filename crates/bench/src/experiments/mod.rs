@@ -2,6 +2,7 @@
 //! See DESIGN.md's experiment index for the mapping.
 
 pub mod ablations;
+pub mod chaos_matrix;
 pub mod fault_matrix;
 pub mod fig12;
 pub mod fig3;
@@ -29,6 +30,7 @@ pub fn all_ids() -> &'static [&'static str] {
         "ablations",
         "fault_matrix",
         "tenant_matrix",
+        "chaos_matrix",
     ]
 }
 
@@ -46,6 +48,7 @@ pub fn run(id: &str, full: bool) -> Option<Vec<Artifact>> {
         "ablations" => Some(ablations::run(full)),
         "fault_matrix" => Some(fault_matrix::run(full)),
         "tenant_matrix" => Some(tenant_matrix::run(full)),
+        "chaos_matrix" => Some(chaos_matrix::run(full)),
         _ => None,
     }
 }
@@ -58,6 +61,9 @@ pub fn run(id: &str, full: bool) -> Option<Vec<Artifact>> {
 /// * `tenant_matrix` — `tenant_matrix.metrics.jsonl` + `tenant_matrix.prom`,
 ///   the unrestricted-policy + churner cell's registry (per-tenant
 ///   `ctrl.tenant.*` metrics included);
+/// * `chaos_matrix` — `chaos_matrix.metrics.jsonl` + `chaos_matrix.prom`,
+///   the ToR-reboot scenario's registry (`ctrl.chaos.*` detection and
+///   `sim.chaos.*` injection counters included);
 /// * `fig12` — `fig12.trace.json`, a Chrome trace-event file of the flow
 ///   migration (load in Perfetto / `chrome://tracing`);
 /// * everything else runs unchanged (telemetry stays zero-config).
@@ -88,6 +94,18 @@ pub fn run_with_telemetry(id: &str, full: bool, dir: &std::path::Path) -> Option
             );
             write(
                 "tenant_matrix.prom",
+                fastrak_telemetry::export::prometheus_text(&reg),
+            );
+            Some(arts)
+        }
+        "chaos_matrix" => {
+            let (arts, reg) = chaos_matrix::run_with_export(full);
+            write(
+                "chaos_matrix.metrics.jsonl",
+                fastrak_telemetry::export::metrics_jsonl(&reg),
+            );
+            write(
+                "chaos_matrix.prom",
                 fastrak_telemetry::export::prometheus_text(&reg),
             );
             Some(arts)

@@ -37,7 +37,7 @@ pub use local::{LocalController, LocalControllerConfig, Timing};
 pub use me::{AggDemand, DemandDelta, MeasurementEngine, VmDemandProfile};
 pub use meter::{epoch_rates, RateSummary, RateWindow};
 pub use policy::FastPathPolicy;
-pub use protocol::{DemandReport, MigrationPrepare, OffloadDecision, VmLimit};
+pub use protocol::{DemandReport, HwPathReport, MigrationPrepare, OffloadDecision, VmLimit};
 pub use rules::{RuleManager, SynthesisError};
 pub use tor_ctrl::{CtrlCounterIds, CtrlPlaneConfig, TorController, TorControllerConfig};
 

@@ -23,7 +23,7 @@ use fastrak_sim::time::SimDuration;
 
 use crate::fps::{fps_split, is_maxed, FpsConfig, FpsInput};
 use crate::me::{MeasurementEngine, VmDemandProfile};
-use crate::protocol::{DemandReport, OffloadDecision, VmLimit};
+use crate::protocol::{DemandReport, HwPathReport, OffloadDecision, VmLimit};
 
 /// Timer tags.
 mod tags {
@@ -108,6 +108,10 @@ pub struct LocalController {
     last_split: HashMap<(Ip, u8), (u64, u64)>,
     /// Placer rules currently installed: aggregate → installed on which VMs.
     installed: HashMap<FlowAggregate, Vec<(TenantId, Ip)>>,
+    /// Last observed liveness of the server's SR-IOV hardware path (polled
+    /// each measurement epoch; reports to the TOR controller only on
+    /// transitions, so a healthy path generates no control traffic).
+    hw_path_down: bool,
     /// Decisions applied.
     pub decisions_applied: u64,
 }
@@ -133,6 +137,7 @@ impl LocalController {
             hw_rates: HashMap::new(),
             last_split: HashMap::new(),
             installed: HashMap::new(),
+            hw_path_down: false,
             decisions_applied: 0,
             cfg,
         }
@@ -179,6 +184,45 @@ impl LocalController {
             self.cfg.server,
             SimDuration::from_micros(20),
             Event::Ctl(CtlMsg::new(api.self_id, CtrlRequest::DumpFlowStats { xid })),
+        );
+    }
+
+    /// Poll the server's SR-IOV path liveness (the NIC driver knows
+    /// immediately; the epoch cadence models the health-check loop) and
+    /// report transitions to the TOR controller so it can demote / readmit
+    /// this server's offloaded aggregates.
+    fn poll_hw_path(&mut self, api: &mut Api<'_, Event, NetCtx>) {
+        let down = api.chaos_vf_down_at(self.cfg.server);
+        if down == self.hw_path_down {
+            return;
+        }
+        self.hw_path_down = down;
+        api.ctx.telemetry.flight.record(
+            api.now.as_nanos(),
+            "local-ctrl",
+            if down {
+                fastrak_telemetry::Severity::Error
+            } else {
+                fastrak_telemetry::Severity::Info
+            },
+            if down {
+                "sriov path down: reporting to tor controller"
+            } else {
+                "sriov path recovered: reporting to tor controller"
+            },
+            [u64::from(self.cfg.server_ip.0), 0, 0],
+        );
+        api.send(
+            self.cfg.tor_ctrl,
+            SimDuration::from_micros(100),
+            Event::Ctl(CtlMsg::new(
+                api.self_id,
+                HwPathReport {
+                    server_ip: self.cfg.server_ip,
+                    up: !down,
+                    vms: self.cfg.vms.clone(),
+                },
+            )),
         );
     }
 
@@ -403,6 +447,7 @@ impl Node<Event, NetCtx> for LocalController {
             Event::Timer {
                 tag: tags::EPOCH, ..
             } => {
+                self.poll_hw_path(api);
                 self.request_dump(api, Phase::A);
                 api.timer(
                     self.cfg.timing.sample_gap,

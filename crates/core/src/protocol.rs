@@ -47,6 +47,23 @@ pub struct MigrationPrepare {
     pub vm_ip: Ip,
 }
 
+/// Local controller → TOR controller: the server's SR-IOV hardware path
+/// changed liveness. Sent only on transitions (the local controller polls
+/// its NIC each measurement epoch). On `up: false` the TOR controller
+/// force-demotes every offloaded aggregate touching the listed VMs — their
+/// express lane is dark, so the software path is strictly better — and
+/// bars them from re-offload until the matching `up: true` report.
+#[derive(Debug, Clone)]
+pub struct HwPathReport {
+    /// Reporting server's provider IP.
+    pub server_ip: Ip,
+    /// New liveness of the server's SR-IOV path.
+    pub up: bool,
+    /// The VMs hosted on that server (their `(tenant, ip)` identities),
+    /// i.e. the endpoints whose hardware path this report covers.
+    pub vms: Vec<(TenantId, Ip)>,
+}
+
 /// Per-VM rate limit configuration (what the tenant paid for).
 #[derive(Debug, Clone, Copy)]
 pub struct VmLimit {

@@ -33,7 +33,7 @@ use crate::de_inc::DeEpochStats;
 use crate::de_inc::IncrementalDecisionEngine;
 use crate::me::AggDemand;
 use crate::meter::{self, RateWindow};
-use crate::protocol::{DemandReport, MigrationPrepare, OffloadDecision};
+use crate::protocol::{DemandReport, HwPathReport, MigrationPrepare, OffloadDecision};
 use crate::rules::RuleManager;
 
 mod tags {
@@ -49,6 +49,10 @@ mod tags {
     pub const INSTALL_TIMEOUT: u64 = 5;
     /// Periodic reconciliation sweep against actual ToR rule state.
     pub const RECONCILE: u64 = 6;
+    /// Periodic hardware-path liveness probe.
+    pub const PROBE: u64 = 7;
+    /// Probe reply deadline (a = xid).
+    pub const PROBE_TIMEOUT: u64 = 8;
 }
 
 /// Control-plane hardening knobs: install-transaction retry/backoff and the
@@ -73,6 +77,19 @@ pub struct CtrlPlaneConfig {
     /// How long offloads stay suspended (traffic remains on the software
     /// path) after the failure threshold trips.
     pub hw_cooldown: SimDuration,
+    /// Period of the hardware-path liveness probe ([`SimDuration::ZERO`]
+    /// disables, the default — probing adds control traffic, so scenarios
+    /// opt in). A probe answered with a definitive Error (ToR rebooting)
+    /// marks the ToR down immediately; [`CtrlPlaneConfig::hw_failure_threshold`]
+    /// consecutive unanswered probes do the same. Probe replies carry the
+    /// ToR's boot generation, which is how reboots are detected.
+    pub probe_interval: SimDuration,
+    /// Consecutive measured zero-rate hardware epochs — while software-side
+    /// demand history persists — before an offloaded aggregate is declared
+    /// blackholed and force-demoted (0 disables, the default).
+    pub blackhole_epochs: u32,
+    /// How long a blackhole-demoted aggregate is barred from re-offload.
+    pub blackhole_cooldown: SimDuration,
 }
 
 impl Default for CtrlPlaneConfig {
@@ -84,6 +101,9 @@ impl Default for CtrlPlaneConfig {
             reconcile_interval: SimDuration::from_secs(1),
             hw_failure_threshold: 3,
             hw_cooldown: SimDuration::from_secs(2),
+            probe_interval: SimDuration::ZERO,
+            blackhole_epochs: 0,
+            blackhole_cooldown: SimDuration::from_secs(2),
         }
     }
 }
@@ -124,6 +144,24 @@ pub struct CtrlCounterIds {
     pub de_band_crossers: CounterId,
     /// Offloads suppressed by the hysteresis band (churn avoided).
     pub de_churn_suppressed: CounterId,
+    /// ToR reboots detected via a boot-generation bump (probe reply or
+    /// rule dump newer than the controller's view).
+    pub chaos_tor_reboots_seen: CounterId,
+    /// Controller crash/restart cycles survived (state rebuilt from the
+    /// hardware's rule dump).
+    pub chaos_ctrl_restarts: CounterId,
+    /// Offloaded aggregates force-demoted on blackhole suspicion (hardware
+    /// counters idle while software demand history persisted).
+    pub chaos_blackhole_demotes: CounterId,
+    /// Offloaded aggregates force-demoted because their server reported
+    /// its SR-IOV hardware path down.
+    pub chaos_hw_path_down_demotes: CounterId,
+    /// Liveness probes that went unanswered past their deadline.
+    pub chaos_probe_timeouts: CounterId,
+    /// Rule dumps discarded because they were snapshotted before a reboot
+    /// the controller already knew about (using one would resurrect wiped
+    /// rules in the bookkeeping).
+    pub chaos_stale_dumps_discarded: CounterId,
 }
 
 impl CtrlCounterIds {
@@ -145,6 +183,12 @@ impl CtrlCounterIds {
             de_deltas_ingested: reg.counter("ctrl.de.deltas_ingested", &[]),
             de_band_crossers: reg.counter("ctrl.de.band_crossers", &[]),
             de_churn_suppressed: reg.counter("ctrl.de.churn_suppressed", &[]),
+            chaos_tor_reboots_seen: reg.counter("ctrl.chaos.tor_reboots_seen", &[]),
+            chaos_ctrl_restarts: reg.counter("ctrl.chaos.ctrl_restarts", &[]),
+            chaos_blackhole_demotes: reg.counter("ctrl.chaos.blackhole_demotes", &[]),
+            chaos_hw_path_down_demotes: reg.counter("ctrl.chaos.hw_path_down_demotes", &[]),
+            chaos_probe_timeouts: reg.counter("ctrl.chaos.probe_timeouts", &[]),
+            chaos_stale_dumps_discarded: reg.counter("ctrl.chaos.stale_dumps_discarded", &[]),
         }
     }
 }
@@ -184,6 +228,10 @@ struct HwMeter {
     sample_a: HashMap<FlowAggregate, (u64, u64)>,
     /// Per-aggregate rate history.
     hist: HashMap<FlowAggregate, RateWindow>,
+    /// Rates measured in the most recently closed epoch only (cleared each
+    /// sample B). Blackhole detection needs "did the counters move *this*
+    /// epoch", which the history medians deliberately smooth away.
+    last_rates: HashMap<FlowAggregate, (f64, f64)>,
     cap: usize,
 }
 
@@ -219,14 +267,24 @@ impl HwMeter {
         gap_secs: f64,
     ) {
         let folded = Self::fold(entries, map);
+        self.last_rates.clear();
         for (agg, cur) in folded {
             // Unmeasurable epochs (no baseline, or counters restarted after
             // a rule reinstall) push nothing; see [`meter::epoch_rates`].
             let baseline = self.sample_a.get(&agg).copied();
             if let Some((pps, bps)) = meter::epoch_rates(baseline, cur, gap_secs) {
                 self.hist.entry(agg).or_default().push(pps, bps, self.cap);
+                self.last_rates.insert(agg, (pps, bps));
             }
         }
+    }
+
+    /// Drop all measurement state (controller restart: the meter is
+    /// volatile and rebuilds over subsequent epochs).
+    fn reset(&mut self) {
+        self.sample_a.clear();
+        self.hist.clear();
+        self.last_rates.clear();
     }
 
     fn demand(&self, agg: &FlowAggregate) -> Option<AggDemand> {
@@ -302,6 +360,37 @@ pub struct TorController {
     /// While set and in the future, no new offloads are attempted (traffic
     /// stays on the software path).
     hw_suspended_until: Option<SimTime>,
+    /// Highest ToR boot generation observed (probe replies and rule dumps
+    /// carry it). A bump proves the hardware table was wiped.
+    tor_generation: u64,
+    /// The ToR is believed down (probe Error / timeout threshold): offloads
+    /// are suspended until a probe is answered again.
+    tor_down: bool,
+    /// One-shot guard for arming the periodic probe loop.
+    probe_armed: bool,
+    /// Outstanding liveness probe: (xid, timeout-timer handle).
+    pending_probe: Option<(u64, EventHandle)>,
+    /// Unanswered probes in a row; resets on any reply.
+    consecutive_probe_failures: u32,
+    /// Controller incarnation: highest chaos restart epoch adopted.
+    restart_epoch: u64,
+    /// A restarted incarnation is rebuilding from the hardware dump; no
+    /// decisions are made until the dump lands.
+    recovering: bool,
+    /// xid of the outstanding recovery rule dump.
+    recovery_xid: Option<u64>,
+    /// Consecutive measured zero-rate hardware epochs per offloaded
+    /// aggregate (blackhole detection).
+    zero_epochs: HashMap<FlowAggregate, u32>,
+    /// Offloaded aggregates that have carried hardware traffic at least
+    /// once — only those can be declared blackholed (a rule that never
+    /// carried traffic has nothing to lose).
+    hw_active: HashSet<FlowAggregate>,
+    /// Blackhole-demoted aggregates barred from re-offload until the time.
+    blackhole_until: HashMap<FlowAggregate, SimTime>,
+    /// VMs whose server reported its SR-IOV hardware path down; aggregates
+    /// touching them are not offloaded.
+    hw_down_vms: HashSet<(TenantId, Ip)>,
     /// Fast-path entries currently used by this controller.
     pub entries_used: usize,
     /// Decision rounds executed.
@@ -340,6 +429,18 @@ impl TorController {
             reconcile_armed: false,
             consecutive_install_failures: 0,
             hw_suspended_until: None,
+            tor_generation: 0,
+            tor_down: false,
+            probe_armed: false,
+            pending_probe: None,
+            consecutive_probe_failures: 0,
+            restart_epoch: 0,
+            recovering: false,
+            recovery_xid: None,
+            zero_epochs: HashMap::new(),
+            hw_active: HashSet::new(),
+            blackhole_until: HashMap::new(),
+            hw_down_vms: HashSet::new(),
             entries_used: 0,
             rounds: 0,
             telemetry_tenants: std::collections::BTreeSet::new(),
@@ -386,6 +487,22 @@ impl TorController {
     /// Currently offloaded aggregates (inspection).
     pub fn offloaded(&self) -> &HashSet<FlowAggregate> {
         &self.offloaded
+    }
+
+    /// Highest ToR boot generation this controller has observed.
+    pub fn tor_generation(&self) -> u64 {
+        self.tor_generation
+    }
+
+    /// True while a restarted incarnation is still rebuilding its state
+    /// from the hardware rule dump.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// True while the ToR is believed unreachable (probe-driven).
+    pub fn tor_believed_down(&self) -> bool {
+        self.tor_down
     }
 
     /// Bump a per-tenant transition counter (`ctrl.tenant.offloads` /
@@ -450,7 +567,14 @@ impl TorController {
     }
 
     fn decide(&mut self, api: &mut Api<'_, Event, NetCtx>) {
+        if self.recovering {
+            // A restarted incarnation makes no decisions until its view of
+            // the hardware is rebuilt; the cadence resumes next interval.
+            return;
+        }
         self.rounds += 1;
+        let now = api.now;
+        self.blackhole_until.retain(|_, t| now < *t);
         let demands = self.merged_demands();
 
         // Run the epoch under a wall clock. The duration feeds only the
@@ -546,16 +670,17 @@ impl TorController {
         }
 
         // While the hardware is suspended (too many consecutive install
-        // failures), attempt no offloads: traffic stays on the software
-        // path until the cooldown expires.
-        let hw_ok = match self.hw_suspended_until {
-            Some(t) if api.now < t => false,
-            Some(_) => {
-                self.hw_suspended_until = None;
-                true
-            }
-            None => true,
-        };
+        // failures) or the ToR is believed down (probe-driven), attempt no
+        // offloads: traffic stays on the software path.
+        let hw_ok = !self.tor_down
+            && match self.hw_suspended_until {
+                Some(t) if api.now < t => false,
+                Some(_) => {
+                    self.hw_suspended_until = None;
+                    true
+                }
+                None => true,
+            };
 
         // Offloads: synthesize rules, install at the ToR, broadcast on Ack.
         let mut rules = Vec::new();
@@ -564,6 +689,11 @@ impl TorController {
             for agg in &decision.offload {
                 if self.entries_used + rules.len() >= self.cfg.budget {
                     break;
+                }
+                // Chaos gates: an aggregate in blackhole cooldown, or homed
+                // on a server whose SR-IOV path is down, stays in software.
+                if self.blackhole_until.contains_key(agg) || self.touches_down_vm(agg) {
+                    continue;
                 }
                 match self.cfg.rule_manager.synthesize(agg, 10) {
                     Ok(rule) => {
@@ -969,6 +1099,16 @@ impl TorController {
             })
             .collect();
         affected.sort();
+        self.force_demote(api, affected);
+    }
+
+    /// Force-demote offloaded aggregates outside the normal decision flow
+    /// (VM migration, hardware-path failure, blackhole suspicion): placers
+    /// flip back to the software path immediately via a demote-only
+    /// broadcast, and the ToR rules are garbage-collected after the usual
+    /// grace so in-flight hardware packets still match. `affected` must be
+    /// sorted; empty input is a no-op.
+    fn force_demote(&mut self, api: &mut Api<'_, Event, NetCtx>, affected: Vec<FlowAggregate>) {
         if affected.is_empty() {
             return;
         }
@@ -986,6 +1126,8 @@ impl TorController {
                 );
             }
             self.hw.forget(agg);
+            self.zero_epochs.remove(agg);
+            self.hw_active.remove(agg);
         }
         self.entries_used -= specs.len();
         self.broadcast(
@@ -1010,10 +1152,348 @@ impl TorController {
             },
         );
     }
+
+    /// Does the aggregate touch a VM whose server reported its SR-IOV
+    /// hardware path down?
+    fn touches_down_vm(&self, agg: &FlowAggregate) -> bool {
+        if self.hw_down_vms.is_empty() {
+            return false;
+        }
+        match *agg {
+            FlowAggregate::SrcApp { tenant, ip, .. } | FlowAggregate::DstApp { tenant, ip, .. } => {
+                self.hw_down_vms.contains(&(tenant, ip))
+            }
+            FlowAggregate::Exact(k) => {
+                self.hw_down_vms.contains(&(k.tenant, k.src_ip))
+                    || self.hw_down_vms.contains(&(k.tenant, k.dst_ip))
+            }
+        }
+    }
+
+    /// A local controller reported its server's SR-IOV path changed
+    /// liveness. Down: force-demote every offloaded aggregate touching that
+    /// server's VMs — their hardware path is dark, so software is strictly
+    /// better — and bar those VMs from re-offload. Up: lift the bar; the
+    /// normal hysteresis (N-of-M persistence + score band) governs
+    /// re-offload, so a flapping VF cannot thrash the fast path.
+    fn on_hw_path_report(&mut self, api: &mut Api<'_, Event, NetCtx>, rep: HwPathReport) {
+        if rep.up {
+            for vm in &rep.vms {
+                self.hw_down_vms.remove(vm);
+            }
+            api.ctx.telemetry.flight.record(
+                api.now.as_nanos(),
+                "tor-ctrl",
+                Severity::Info,
+                "server hardware path recovered; VMs re-eligible for offload",
+                [rep.vms.len() as u64, 0, 0],
+            );
+            return;
+        }
+        for vm in &rep.vms {
+            self.hw_down_vms.insert(*vm);
+        }
+        let mut affected: Vec<FlowAggregate> = self
+            .offloaded
+            .iter()
+            .copied()
+            .filter(|a| self.touches_down_vm(a))
+            .collect();
+        affected.sort();
+        api.ctx.telemetry.registry.add(
+            self.cfg.counters.chaos_hw_path_down_demotes,
+            affected.len() as u64,
+        );
+        api.ctx.telemetry.flight.record(
+            api.now.as_nanos(),
+            "tor-ctrl",
+            Severity::Error,
+            "server hardware path down: demoting its offloaded aggregates",
+            [affected.len() as u64, rep.vms.len() as u64, 0],
+        );
+        self.force_demote(api, affected);
+    }
+
+    /// Blackhole detection, run each closed measurement epoch when enabled:
+    /// an offloaded aggregate whose hardware counters stopped moving for
+    /// `blackhole_epochs` consecutive measured epochs — while the software
+    /// plane still remembers demand for it — is presumed blackholed (dead
+    /// VF, wedged rule) and force-demoted, then barred from re-offload for
+    /// the cooldown.
+    fn check_blackholes(&mut self, api: &mut Api<'_, Event, NetCtx>) {
+        let mut offl: Vec<FlowAggregate> = self.offloaded.iter().copied().collect();
+        offl.sort();
+        let mut victims: Vec<FlowAggregate> = Vec::new();
+        for agg in offl {
+            match self.hw.last_rates.get(&agg) {
+                Some(&(pps, bps)) if pps <= 0.0 && bps <= 0.0 => {
+                    if !self.hw_active.contains(&agg) {
+                        continue; // never carried traffic: nothing to lose
+                    }
+                    if !self.sw_demand_persists(&agg) {
+                        continue; // demand genuinely stopped: idle, not dark
+                    }
+                    let n = self.zero_epochs.entry(agg).or_insert(0);
+                    *n += 1;
+                    if *n >= self.cfg.ctrl.blackhole_epochs {
+                        victims.push(agg);
+                    }
+                }
+                Some(_) => {
+                    // Counters moved: healthy; remember it carried traffic.
+                    self.hw_active.insert(agg);
+                    self.zero_epochs.remove(&agg);
+                }
+                None => {} // unmeasurable epoch (reinstall churn): no evidence
+            }
+        }
+        if victims.is_empty() {
+            return;
+        }
+        for agg in &victims {
+            self.blackhole_until
+                .insert(*agg, api.now + self.cfg.ctrl.blackhole_cooldown);
+        }
+        api.ctx.telemetry.registry.add(
+            self.cfg.counters.chaos_blackhole_demotes,
+            victims.len() as u64,
+        );
+        api.ctx.telemetry.flight.record(
+            api.now.as_nanos(),
+            "tor-ctrl",
+            Severity::Warn,
+            "blackhole suspected: hw counters idle under live demand; demoting",
+            [
+                victims.len() as u64,
+                self.cfg.ctrl.blackhole_epochs as u64,
+                0,
+            ],
+        );
+        self.force_demote(api, victims);
+    }
+
+    /// Does any local controller's latest report still show demand (current
+    /// or median-history) for this aggregate? Offloaded traffic bypasses
+    /// the vswitch, so the *median history* is what persists for a few
+    /// intervals after a hardware path goes dark — that persistence is the
+    /// blackhole signal.
+    fn sw_demand_persists(&self, agg: &FlowAggregate) -> bool {
+        self.reports.values().any(|rep| {
+            rep.entries
+                .iter()
+                .any(|d| d.agg == *agg && (d.pps > 0.0 || d.m_pps > 0.0))
+        })
+    }
+
+    /// Adopt a newly observed ToR boot generation: the hardware table was
+    /// wiped by a reboot, so any in-flight reconcile snapshot is already
+    /// untrustworthy. Counting happens here; the caller decides whether to
+    /// re-sweep.
+    fn note_tor_reboot(&mut self, api: &mut Api<'_, Event, NetCtx>, generation: u64) {
+        self.tor_generation = generation;
+        api.ctx
+            .telemetry
+            .registry
+            .inc(self.cfg.counters.chaos_tor_reboots_seen);
+        api.ctx.telemetry.flight.record(
+            api.now.as_nanos(),
+            "tor-ctrl",
+            Severity::Warn,
+            "tor reboot detected: hardware table presumed wiped",
+            [
+                generation,
+                self.offloaded.len() as u64,
+                self.entries_used as u64,
+            ],
+        );
+    }
+
+    /// Start a reconciliation sweep now: snapshot the offloaded set and
+    /// request a rule dump (shared by the periodic timer and the
+    /// reboot-triggered immediate sweep).
+    fn start_reconcile_dump(&mut self, api: &mut Api<'_, Event, NetCtx>) {
+        api.ctx
+            .telemetry
+            .registry
+            .inc(self.cfg.counters.reconcile_sweeps);
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        // A still-outstanding previous sweep (dump or reply lost to
+        // faults) is superseded: its snapshot is replaced wholesale.
+        self.pending_reconcile = Some((xid, self.offloaded.clone()));
+        api.send(
+            self.cfg.tor,
+            SimDuration::from_micros(50),
+            Event::Ctl(CtlMsg::new(api.self_id, CtrlRequest::DumpTorRules { xid })),
+        );
+    }
+
+    fn mark_tor_down(&mut self, api: &mut Api<'_, Event, NetCtx>, msg: &str) {
+        if self.tor_down {
+            return;
+        }
+        self.tor_down = true;
+        api.ctx.telemetry.flight.record(
+            api.now.as_nanos(),
+            "tor-ctrl",
+            Severity::Error,
+            msg,
+            [
+                self.consecutive_probe_failures as u64,
+                self.offloaded.len() as u64,
+                0,
+            ],
+        );
+    }
+
+    fn on_probe_reply(&mut self, api: &mut Api<'_, Event, NetCtx>, xid: u64, generation: u64) {
+        if self.pending_probe.is_none_or(|(want, _)| want != xid) {
+            return; // reply to a superseded or pre-restart probe
+        }
+        let (_, h) = self.pending_probe.take().expect("checked just above");
+        api.cancel(h);
+        self.consecutive_probe_failures = 0;
+        if self.tor_down {
+            self.tor_down = false;
+            api.ctx.telemetry.flight.record(
+                api.now.as_nanos(),
+                "tor-ctrl",
+                Severity::Info,
+                "tor probe answered: hardware path back up",
+                [xid, generation, 0],
+            );
+        }
+        if generation > self.tor_generation {
+            self.note_tor_reboot(api, generation);
+            // The wiped table invalidates any in-flight reconcile snapshot;
+            // sweep again immediately so lost aggregates demote now rather
+            // than a full reconcile interval later.
+            self.pending_reconcile = None;
+            self.start_reconcile_dump(api);
+        }
+    }
+
+    /// Lazily adopt a new controller incarnation when the chaos plane
+    /// scripted a crash/restart: all volatile state dies with the process,
+    /// and the new instance rebuilds its offloaded set, transactions, and
+    /// policy occupancy from the hardware itself via a full rule dump.
+    /// Decisions are suspended until the dump lands; the periodic timer
+    /// chains (epoch/reconcile/probe) model the new instance restarting
+    /// its loops. The xid space jumps so replies addressed to the dead
+    /// incarnation can never be confused with the new one's transactions.
+    fn maybe_restart(&mut self, api: &mut Api<'_, Event, NetCtx>) {
+        let epoch = api.chaos_ctrl_restart_epoch();
+        if epoch <= self.restart_epoch {
+            return;
+        }
+        self.restart_epoch = epoch;
+        for txn in self.pending_install.values() {
+            api.cancel(txn.timeout);
+            if let Some(s) = txn.span {
+                api.ctx.telemetry.spans.end(api.now.as_nanos(), s);
+            }
+        }
+        self.pending_install.clear();
+        if let Some((_, h)) = self.pending_probe.take() {
+            api.cancel(h);
+        }
+        self.reports.clear();
+        self.offloaded.clear();
+        self.installed_spec.clear();
+        self.spec_to_agg.clear();
+        self.hw.reset();
+        // Demoted rules whose GC was pending become untracked hardware
+        // state; the reconciliation sweep removes them.
+        self.gc_queue.clear();
+        self.pending_reconcile = None;
+        self.consecutive_install_failures = 0;
+        self.hw_suspended_until = None;
+        self.entries_used = 0;
+        self.epoch_in_interval = 0;
+        self.consecutive_probe_failures = 0;
+        self.tor_down = false;
+        self.zero_epochs.clear();
+        self.hw_active.clear();
+        self.blackhole_until.clear();
+        self.hw_down_vms.clear();
+        self.next_xid = (epoch << 40) | 1;
+        api.ctx
+            .telemetry
+            .registry
+            .inc(self.cfg.counters.chaos_ctrl_restarts);
+        api.ctx.telemetry.flight.record(
+            api.now.as_nanos(),
+            "tor-ctrl",
+            Severity::Error,
+            "controller restarted: rebuilding state from hardware",
+            [epoch, 0, 0],
+        );
+        self.recovering = true;
+        self.send_recovery_dump(api);
+    }
+
+    /// Ask the ToR for its full rule inventory to rebuild from. Retried on
+    /// the reconcile cadence while recovery is outstanding (the request or
+    /// reply can be lost to faults, or rejected by a dark ToR).
+    fn send_recovery_dump(&mut self, api: &mut Api<'_, Event, NetCtx>) {
+        let xid = self.next_xid;
+        self.next_xid += 1;
+        self.recovery_xid = Some(xid);
+        api.send(
+            self.cfg.tor,
+            SimDuration::from_micros(50),
+            Event::Ctl(CtlMsg::new(api.self_id, CtrlRequest::DumpTorRules { xid })),
+        );
+    }
+
+    /// Rebuild bookkeeping from the hardware's rule inventory after a
+    /// restart. Every rule whose spec inverts to a known aggregate shape
+    /// ([`FlowAggregate::from_spec`]) becomes an offloaded entry again;
+    /// anything else is untracked state the next reconciliation sweep
+    /// removes. Per-tenant policy occupancy re-derives from the rebuilt
+    /// offloaded set (no transition counters: these are not new offloads).
+    fn on_recovery_dump(
+        &mut self,
+        api: &mut Api<'_, Event, NetCtx>,
+        rules: Vec<(TenantId, FlowSpec)>,
+        fastpath_used: usize,
+        generation: u64,
+    ) {
+        self.recovering = false;
+        self.recovery_xid = None;
+        // Adopt silently: the new incarnation has no pre-crash view to
+        // compare against, so this is baseline, not a detected reboot.
+        self.tor_generation = self.tor_generation.max(generation);
+        let mut aggs: Vec<FlowAggregate> = rules
+            .iter()
+            .filter_map(|(t, s)| FlowAggregate::from_spec(s).filter(|a| a.tenant() == *t))
+            .collect();
+        aggs.sort();
+        aggs.dedup();
+        for agg in aggs {
+            let tenant = agg.tenant();
+            let spec = agg.to_spec();
+            self.installed_spec.insert(agg, (tenant, spec));
+            self.spec_to_agg.insert((tenant, spec), agg);
+            self.offloaded.insert(agg);
+        }
+        self.entries_used = self.installed_spec.len();
+        api.ctx.telemetry.flight.record(
+            api.now.as_nanos(),
+            "tor-ctrl",
+            Severity::Info,
+            "controller state rebuilt from hardware rule dump",
+            [self.entries_used as u64, fastpath_used as u64, generation],
+        );
+    }
 }
 
 impl Node<Event, NetCtx> for TorController {
     fn on_event(&mut self, ev: Event, api: &mut Api<'_, Event, NetCtx>) {
+        // A scripted crash/restart takes effect at the next event the
+        // controller would have processed (the new process starts where the
+        // old one died, state-free).
+        self.maybe_restart(api);
         match ev {
             Event::Timer {
                 tag: tags::EPOCH, ..
@@ -1024,6 +1504,17 @@ impl Node<Event, NetCtx> for TorController {
                         self.cfg.ctrl.reconcile_interval,
                         Event::Timer {
                             tag: tags::RECONCILE,
+                            a: 0,
+                            b: 0,
+                        },
+                    );
+                }
+                if !self.probe_armed && self.cfg.ctrl.probe_interval > SimDuration::ZERO {
+                    self.probe_armed = true;
+                    api.timer(
+                        self.cfg.ctrl.probe_interval,
+                        Event::Timer {
+                            tag: tags::PROBE,
                             a: 0,
                             b: 0,
                         },
@@ -1080,20 +1571,14 @@ impl Node<Event, NetCtx> for TorController {
                 tag: tags::RECONCILE,
                 ..
             } => {
-                api.ctx
-                    .telemetry
-                    .registry
-                    .inc(self.cfg.counters.reconcile_sweeps);
-                let xid = self.next_xid;
-                self.next_xid += 1;
-                // A still-outstanding previous sweep (dump or reply lost to
-                // faults) is superseded: its snapshot is replaced wholesale.
-                self.pending_reconcile = Some((xid, self.offloaded.clone()));
-                api.send(
-                    self.cfg.tor,
-                    SimDuration::from_micros(50),
-                    Event::Ctl(CtlMsg::new(api.self_id, CtrlRequest::DumpTorRules { xid })),
-                );
+                if self.recovering {
+                    // The recovery dump is still outstanding (lost to
+                    // faults, or rejected by a dark ToR): re-ask instead of
+                    // sweeping — there is no bookkeeping to reconcile yet.
+                    self.send_recovery_dump(api);
+                } else {
+                    self.start_reconcile_dump(api);
+                }
                 api.timer(
                     self.cfg.ctrl.reconcile_interval,
                     Event::Timer {
@@ -1103,6 +1588,55 @@ impl Node<Event, NetCtx> for TorController {
                     },
                 );
             }
+            Event::Timer {
+                tag: tags::PROBE, ..
+            } => {
+                if self.pending_probe.is_none() {
+                    let xid = self.next_xid;
+                    self.next_xid += 1;
+                    api.send(
+                        self.cfg.tor,
+                        SimDuration::from_micros(50),
+                        Event::Ctl(CtlMsg::new(api.self_id, CtrlRequest::Probe { xid })),
+                    );
+                    let h = api.timer(
+                        self.cfg.ctrl.install_timeout,
+                        Event::Timer {
+                            tag: tags::PROBE_TIMEOUT,
+                            a: xid,
+                            b: 0,
+                        },
+                    );
+                    self.pending_probe = Some((xid, h));
+                }
+                api.timer(
+                    self.cfg.ctrl.probe_interval,
+                    Event::Timer {
+                        tag: tags::PROBE,
+                        a: 0,
+                        b: 0,
+                    },
+                );
+            }
+            Event::Timer {
+                tag: tags::PROBE_TIMEOUT,
+                a,
+                ..
+            } if self.pending_probe.is_some_and(|(want, _)| want == a) => {
+                self.pending_probe = None;
+                self.consecutive_probe_failures += 1;
+                api.ctx
+                    .telemetry
+                    .registry
+                    .inc(self.cfg.counters.chaos_probe_timeouts);
+                if self.consecutive_probe_failures >= self.cfg.ctrl.hw_failure_threshold {
+                    self.mark_tor_down(api, "tor probes unanswered: offloads suspended");
+                }
+            }
+            Event::Timer {
+                tag: tags::PROBE_TIMEOUT,
+                ..
+            } => {} // timeout for a probe that was already answered or superseded
             Event::Ctl(msg) => {
                 let msg = match msg.downcast::<CtrlReply>() {
                     Ok((_, CtrlReply::TorFlowStats { xid, entries })) => {
@@ -1113,6 +1647,9 @@ impl Node<Event, NetCtx> for TorController {
                             let map = std::mem::take(&mut self.spec_to_agg);
                             self.hw.sample_b(&entries, &map, gap);
                             self.spec_to_agg = map;
+                            if self.cfg.ctrl.blackhole_epochs > 0 {
+                                self.check_blackholes(api);
+                            }
                             self.epoch_in_interval += 1;
                             if self.epoch_in_interval >= self.cfg.timing.epochs_per_interval {
                                 self.epoch_in_interval = 0;
@@ -1136,10 +1673,79 @@ impl Node<Event, NetCtx> for TorController {
                         return;
                     }
                     Ok((_, CtrlReply::Error { xid, .. })) => {
+                        if self.pending_probe.is_some_and(|(want, _)| want == xid) {
+                            // A definitive Error to a probe is the ToR agent
+                            // itself answering "rebooting": down immediately,
+                            // no timeout threshold needed.
+                            let (_, h) = self.pending_probe.take().expect("checked just above");
+                            api.cancel(h);
+                            self.consecutive_probe_failures = 0;
+                            self.mark_tor_down(api, "tor reports rebooting: offloads suspended");
+                            return;
+                        }
+                        if self.recovery_xid == Some(xid) {
+                            // Recovery dump rejected (ToR still dark); the
+                            // reconcile-cadence retry will re-ask.
+                            return;
+                        }
                         self.on_install_ack(api, xid, false);
                         return;
                     }
-                    Ok((_, CtrlReply::TorRuleDump { xid, rules, .. })) => {
+                    Ok((
+                        _,
+                        CtrlReply::ProbeReply {
+                            xid,
+                            boot_generation,
+                        },
+                    )) => {
+                        self.on_probe_reply(api, xid, boot_generation);
+                        return;
+                    }
+                    Ok((
+                        _,
+                        CtrlReply::TorRuleDump {
+                            xid,
+                            rules,
+                            fastpath_used,
+                            boot_generation,
+                        },
+                    )) => {
+                        if self.recovery_xid == Some(xid) {
+                            self.on_recovery_dump(api, rules, fastpath_used, boot_generation);
+                            return;
+                        }
+                        if boot_generation < self.tor_generation {
+                            // Snapshotted before a reboot the controller
+                            // already knows about: using it would resurrect
+                            // wiped rules in the bookkeeping. Discard, and
+                            // re-sweep if it was the awaited reconcile dump.
+                            api.ctx
+                                .telemetry
+                                .registry
+                                .inc(self.cfg.counters.chaos_stale_dumps_discarded);
+                            api.ctx.telemetry.flight.record(
+                                api.now.as_nanos(),
+                                "tor-ctrl",
+                                Severity::Warn,
+                                "stale pre-reboot rule dump discarded",
+                                [xid, boot_generation, self.tor_generation],
+                            );
+                            if self
+                                .pending_reconcile
+                                .as_ref()
+                                .is_some_and(|(want, _)| *want == xid)
+                            {
+                                self.pending_reconcile = None;
+                                self.start_reconcile_dump(api);
+                            }
+                            return;
+                        }
+                        if boot_generation > self.tor_generation {
+                            // This dump is post-reboot truth: note the wipe,
+                            // then let the sweep demote everything the
+                            // hardware lost.
+                            self.note_tor_reboot(api, boot_generation);
+                        }
                         self.on_reconcile_dump(api, xid, rules);
                         return;
                     }
@@ -1149,6 +1755,13 @@ impl Node<Event, NetCtx> for TorController {
                 let msg = match msg.downcast::<DemandReport>() {
                     Ok((_, rep)) => {
                         self.reports.insert(rep.server_ip, rep);
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                let msg = match msg.downcast::<HwPathReport>() {
+                    Ok((_, rep)) => {
+                        self.on_hw_path_report(api, rep);
                         return;
                     }
                     Err(m) => m,

@@ -195,7 +195,7 @@ use fastrak_net::event::{ctl_fault_layer, duplicate_ctl_event, CtlMsg, Event, Ne
 use fastrak_net::flow::{FlowKey, FlowSpec, Proto};
 use fastrak_net::rules::Action;
 use fastrak_sim::fault::{FaultConfig, FaultLayer, LinkFaults};
-use fastrak_sim::kernel::{Api, Kernel, Node};
+use fastrak_sim::kernel::{Api, Kernel, Node, NodeId};
 use fastrak_sim::time::SimDuration;
 use fastrak_switch::tor::{Tor, TorConfig};
 
@@ -538,6 +538,365 @@ fn forced_install_failures_degrade_then_recover() {
     );
     let fp = bed.kernel.fault_plane().expect("fault plane attached");
     assert!(fp.stats.forced_install_failures >= 2);
+}
+
+// ---------------------------------------------------------------------------
+// Component-level fault tolerance: scripted ToR reboots, SR-IOV VF death,
+// and controller crash/restart via the chaos plane (DESIGN.md §5).
+// ---------------------------------------------------------------------------
+
+use fastrak_sim::chaos::ChaosConfig;
+
+/// A ToR mid-reboot must reject rule installs with a definitive Error — no
+/// Ack into a table about to be wiped, no phantom `entries_used` on the
+/// controller, no hardware residue.
+#[test]
+fn tor_outage_rejects_installs_definitively() {
+    let mut kernel = Kernel::new(NetCtx::new(), 1);
+    let tor = kernel.add_node(Tor::new(TorConfig::testbed("tor", 0)));
+    let probe = kernel.add_node(Probe::default());
+    kernel.set_fault_layer(ctl_fault_layer(FaultConfig {
+        seed: 3,
+        chaos: ChaosConfig {
+            tor_outages: vec![(tor, SimTime::from_millis(1), SimTime::from_millis(10))],
+            ..ChaosConfig::default()
+        },
+        ..Default::default()
+    }));
+    kernel.post(
+        tor,
+        SimTime::from_millis(5),
+        Event::Ctl(CtlMsg::new(
+            probe,
+            CtrlRequest::InstallTorRules {
+                rules: vec![exact_rule(T, 1), exact_rule(T, 2)],
+                xid: 4,
+            },
+        )),
+    );
+    kernel.run_until(SimTime::from_millis(20));
+
+    let t = kernel.node::<Tor>(tor);
+    assert_eq!(t.acl_rules(), 0, "no rule may survive a mid-reboot install");
+    assert_eq!(t.fastpath_used(), 0, "usage counter must stay clean");
+    assert_eq!(t.stats.install_batches_rejected, 1);
+    let p = kernel.node::<Probe>(probe);
+    assert!(
+        matches!(p.replies.as_slice(), [CtrlReply::Error { xid: 4, .. }]),
+        "a dark ToR must reject definitively, got {:?}",
+        p.replies
+    );
+}
+
+/// Full reboot cycle with liveness probes on: the probe Error marks the ToR
+/// down (suspending offloads), the post-reboot probe reply carries the
+/// bumped boot generation, and the controller re-baselines — re-installing
+/// what the power cycle wiped, with bookkeeping drift exactly zero.
+#[test]
+fn tor_reboot_detected_and_reconverged_via_probes() {
+    let (mut bed, _mc, _cli) = build();
+    let ft = attach(
+        &mut bed,
+        FasTrakConfig {
+            de: DeConfig {
+                max_offloaded: Some(2),
+                ..DeConfig::paper()
+            },
+            ctrl: CtrlPlaneConfig {
+                probe_interval: SimDuration::from_millis(100),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    bed.kernel.set_fault_layer(ctl_fault_layer(FaultConfig {
+        seed: 3,
+        chaos: ChaosConfig {
+            tor_outages: vec![(
+                bed.tor,
+                SimTime::from_millis(2_050),
+                SimTime::from_millis(2_550),
+            )],
+            ..ChaosConfig::default()
+        },
+        ..Default::default()
+    }));
+    ft.start(&mut bed);
+    bed.start();
+
+    // Mid-outage: the dark ToR's definitive probe Error must have marked
+    // the hardware path down.
+    bed.run_until(SimTime::from_millis(2_400));
+    assert!(
+        bed.kernel
+            .node::<TorController>(ft.tor_ctrl)
+            .tor_believed_down(),
+        "probe Error from the dark ToR must mark it down"
+    );
+
+    bed.run_until(SimTime::from_millis(6_300));
+    let reg = &bed.kernel.ctx.telemetry.registry;
+    assert!(
+        reg.counter_by_name("ctrl.chaos.tor_reboots_seen")
+            .unwrap_or(0)
+            >= 1,
+        "the boot-generation bump must be detected"
+    );
+    let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
+    assert!(!tc.tor_believed_down(), "ToR must be back up");
+    assert_eq!(tc.tor_generation(), 1, "one reboot observed");
+    assert!(
+        !tc.offloaded().is_empty(),
+        "offload must resume after the reboot"
+    );
+    assert_eq!(
+        tc.entries_used,
+        bed.tor().acl_rules(),
+        "re-baselining must leave zero bookkeeping drift"
+    );
+}
+
+/// Satellite regression: a rule dump generated *before* a reboot must not
+/// resurrect wiped rules when it straggles in afterwards — the dump's boot
+/// generation gates it.
+#[test]
+fn stale_pre_reboot_rule_dump_is_discarded() {
+    let (mut bed, _mc, _cli) = build();
+    let ft = attach(
+        &mut bed,
+        FasTrakConfig {
+            de: DeConfig {
+                max_offloaded: Some(2),
+                ..DeConfig::paper()
+            },
+            ..Default::default()
+        },
+    );
+    bed.kernel.set_fault_layer(ctl_fault_layer(FaultConfig {
+        seed: 3,
+        chaos: ChaosConfig {
+            tor_outages: vec![(
+                bed.tor,
+                SimTime::from_millis(2_050),
+                SimTime::from_millis(2_550),
+            )],
+            ..ChaosConfig::default()
+        },
+        ..Default::default()
+    }));
+    ft.start(&mut bed);
+    bed.start();
+    // Converge past the reboot (generation is now 1 on both sides).
+    bed.run_until(SimTime::from_millis(5_000));
+    let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
+    assert_eq!(tc.tor_generation(), 1, "reboot must have been observed");
+    let before: Vec<String> = {
+        let mut v: Vec<String> = tc.offloaded().iter().map(|a| format!("{a:?}")).collect();
+        v.sort();
+        v
+    };
+
+    // A pre-reboot (generation-0) dump arrives late, carrying a rule that
+    // was wiped — resurrection bait the controller must refuse.
+    let now = bed.now();
+    bed.kernel.post(
+        ft.tor_ctrl,
+        now,
+        Event::Ctl(CtlMsg::new(
+            bed.tor,
+            CtrlReply::TorRuleDump {
+                xid: 0xDEAD,
+                rules: vec![(T, exact_rule(T, 99).spec)],
+                fastpath_used: 37,
+                boot_generation: 0,
+            },
+        )),
+    );
+    // Deliver only the straggler (1 ms — no decide interval elapses, so
+    // any offloaded-set change can only come from the stale dump itself).
+    bed.run_until(SimTime::from_millis(5_001));
+
+    let reg = &bed.kernel.ctx.telemetry.registry;
+    assert!(
+        reg.counter_by_name("ctrl.chaos.stale_dumps_discarded")
+            .unwrap_or(0)
+            >= 1,
+        "the stale dump must be counted as discarded"
+    );
+    let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
+    let after: Vec<String> = {
+        let mut v: Vec<String> = tc.offloaded().iter().map(|a| format!("{a:?}")).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        before, after,
+        "stale dump must not change the offloaded set"
+    );
+    assert_eq!(
+        tc.entries_used,
+        bed.tor().acl_rules(),
+        "stale dump must not drift the bookkeeping"
+    );
+}
+
+/// SR-IOV VF death: the local controller reports the dark hardware path,
+/// the TOR controller force-demotes every aggregate touching that server's
+/// VMs and bars them until the path recovers, then re-offloads.
+#[test]
+fn vf_failure_demotes_to_software_and_recovers() {
+    let (mut bed, mc, cli) = build();
+    let ft = attach(
+        &mut bed,
+        FasTrakConfig {
+            de: DeConfig {
+                max_offloaded: Some(2),
+                ..DeConfig::paper()
+            },
+            ..Default::default()
+        },
+    );
+    bed.kernel.set_fault_layer(ctl_fault_layer(FaultConfig {
+        seed: 3,
+        chaos: ChaosConfig {
+            vf_outages: vec![(
+                bed.servers[0],
+                SimTime::from_millis(2_050),
+                SimTime::from_millis(4_050),
+            )],
+            ..ChaosConfig::default()
+        },
+        ..Default::default()
+    }));
+    ft.start(&mut bed);
+    bed.start();
+
+    // Mid-outage: nothing touching a server-0 VM may be offloaded, and the
+    // client must still be making progress over the software path.
+    bed.run_until(SimTime::from_millis(3_800));
+    let touching: Vec<String> = ft
+        .offloaded(&bed)
+        .iter()
+        .filter(|a| match a {
+            FlowAggregate::SrcApp { ip, .. } | FlowAggregate::DstApp { ip, .. } => {
+                *ip == mc.ip || *ip == Ip::tenant_vm(2)
+            }
+            FlowAggregate::Exact(k) => k.src_ip == mc.ip || k.dst_ip == mc.ip,
+        })
+        .map(|a| format!("{a:?}"))
+        .collect();
+    assert!(
+        touching.is_empty(),
+        "server-0 aggregates must be demoted while its VF is dark: {touching:?}"
+    );
+    let mid = bed.app::<MemslapClient>(cli).completed();
+    assert!(mid > 0, "software path must keep carrying transactions");
+
+    bed.run_until(SimTime::from_millis(7_000));
+    let reg = &bed.kernel.ctx.telemetry.registry;
+    assert!(
+        reg.counter_by_name("ctrl.chaos.hw_path_down_demotes")
+            .unwrap_or(0)
+            >= 1,
+        "the hw-path-down report must force demotes"
+    );
+    assert!(
+        bed.server(0).stats.hw_path_drops > 0,
+        "the dead VF must have eaten the in-flight hardware frames"
+    );
+    let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
+    assert!(
+        !tc.offloaded().is_empty(),
+        "offload must resume once the VF recovers"
+    );
+    assert_eq!(tc.entries_used, bed.tor().acl_rules());
+    let end = bed.app::<MemslapClient>(cli).completed();
+    assert!(end > mid, "traffic must keep flowing after recovery");
+}
+
+/// Recovery invariant, checked across every failure class: after the fault
+/// clears and the controller re-converges, its offloaded set, the ToR's
+/// installed rule table, and the per-tenant policy occupancy all agree.
+#[test]
+fn post_recovery_state_agrees_across_all_failure_classes() {
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+    // (label, chaos builder) — node ids differ per run, so bind late.
+    type Script = fn(NodeId, NodeId, NodeId) -> ChaosConfig;
+    let scripts: [(&str, Script); 3] = [
+        ("tor reboot", |tor, _s0, _ctrl| ChaosConfig {
+            tor_outages: vec![(tor, ms(2_050), ms(2_550))],
+            ..ChaosConfig::default()
+        }),
+        ("vf failure", |_tor, s0, _ctrl| ChaosConfig {
+            vf_outages: vec![(s0, ms(2_050), ms(3_550))],
+            ..ChaosConfig::default()
+        }),
+        ("controller restart", |_tor, _s0, ctrl| ChaosConfig {
+            controller_restarts: vec![(ctrl, ms(2_050))],
+            ..ChaosConfig::default()
+        }),
+    ];
+    for (label, script) in scripts {
+        let (mut bed, _mc, _cli) = build();
+        let ft = attach(
+            &mut bed,
+            FasTrakConfig {
+                de: DeConfig {
+                    max_offloaded: Some(2),
+                    ..DeConfig::paper()
+                },
+                ctrl: CtrlPlaneConfig {
+                    probe_interval: SimDuration::from_millis(100),
+                    blackhole_epochs: 2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        bed.kernel.set_fault_layer(ctl_fault_layer(FaultConfig {
+            seed: 3,
+            chaos: script(bed.tor, bed.servers[0], ft.tor_ctrl),
+            ..Default::default()
+        }));
+        ft.start(&mut bed);
+        bed.start();
+        bed.run_until(SimTime::from_millis(6_500));
+
+        let tc = bed.kernel.node::<TorController>(ft.tor_ctrl);
+        assert!(!tc.offloaded().is_empty(), "{label}: must re-offload");
+        assert!(!tc.is_recovering(), "{label}: recovery must complete");
+        // Controller bookkeeping == hardware table size...
+        assert_eq!(
+            tc.entries_used,
+            bed.tor().acl_rules(),
+            "{label}: entries_used must match installed ToR rules"
+        );
+        // ...and every offloaded aggregate's rule is actually installed.
+        let offloaded: Vec<_> = tc.offloaded().iter().cloned().collect();
+        let n_offloaded = offloaded.len();
+        for agg in offloaded {
+            assert!(
+                bed.tor().has_rule(agg.tenant(), &agg.to_spec()),
+                "{label}: offloaded {agg:?} has no hardware rule"
+            );
+        }
+        // ...and the policy tracker's per-tenant occupancy agrees (one
+        // tenant in this bed, so its gauge is the whole set).
+        ft.publish_telemetry(&mut bed);
+        let occ = bed
+            .kernel
+            .ctx
+            .telemetry
+            .registry
+            .gauge_by_name("ctrl.tenant.offloaded_entries{tenant=1}")
+            .unwrap_or(-1.0);
+        assert_eq!(
+            occ, n_offloaded as f64,
+            "{label}: policy occupancy must match the offloaded set"
+        );
+    }
 }
 
 #[test]

@@ -113,6 +113,10 @@ pub struct ServerStats {
     pub rx_drops: u64,
     /// Packets denied by the vswitch security policy.
     pub policy_drops: u64,
+    /// Packets dropped because the SR-IOV hardware path was dark (chaos VF
+    /// failure): tx attempts into the dead VF and hw-port rx during the
+    /// outage.
+    pub hw_path_drops: u64,
     /// Packets with no tunnel route.
     pub no_route_drops: u64,
     /// Frames sent on the vswitch port.
@@ -176,6 +180,9 @@ pub struct Server {
     flow_clock: FxHashMap<(u64, u8), SimTime>,
     /// Public counters.
     pub stats: ServerStats,
+    /// Last observed SR-IOV path liveness (updated on the hw datapath,
+    /// published as the `host.hw_path_up` gauge).
+    hw_path_up: bool,
     window_start: SimTime,
     hw_rate_tx: FxHashMap<usize, TokenBucket>,
     /// Cached "name/vmN" labels so enabled tracing allocates nothing per
@@ -199,6 +206,7 @@ impl Server {
             pin_pool: cfg.pinned_cpus.map(CpuPool::new),
             flow_clock: FxHashMap::default(),
             stats: ServerStats::default(),
+            hw_path_up: true,
             window_start: SimTime::ZERO,
             hw_rate_tx: FxHashMap::default(),
             vms: Vec::new(),
@@ -286,6 +294,7 @@ impl Server {
             ("host.tx_ring_drops", self.stats.tx_ring_drops),
             ("host.rx_drops", self.stats.rx_drops),
             ("host.policy_drops", self.stats.policy_drops),
+            ("host.hw_path_drops", self.stats.hw_path_drops),
             ("host.no_route_drops", self.stats.no_route_drops),
             ("host.tx_frames.sw", self.stats.tx_sw_frames),
             ("host.tx_frames.hw", self.stats.tx_hw_frames),
@@ -301,6 +310,8 @@ impl Server {
         }
         let dp = reg.gauge("host.vswitch.datapath_entries", server);
         reg.gauge_set(dp, self.vswitch.datapath_len() as f64);
+        let up = reg.gauge("host.hw_path_up", server);
+        reg.gauge_set(up, if self.hw_path_up { 1.0 } else { 0.0 });
         for vf in self.nic.vfs() {
             let labels: &[(&str, &str)] = &[
                 ("server", &self.cfg.name),
@@ -643,6 +654,17 @@ impl Server {
                 );
             }
             PathTag::SrIov => {
+                // Dead VF (chaos): the placer still steers into the hardware
+                // path — the NIC just eats the packet. Falling back to the
+                // vswitch here would mask the failure; recovery is the
+                // control plane's job (HwPathReport → force demote).
+                if api.chaos_vf_down_at(api.self_id) {
+                    self.hw_path_up = false;
+                    self.stats.hw_path_drops += 1;
+                    self.pump_vm(api, vm_idx);
+                    return;
+                }
+                self.hw_path_up = true;
                 // Interrupt-isolation cost is asynchronous: account it on
                 // the irq pool without delaying the packet.
                 let c = self.cfg.cost.sriov_host(&pkt);
@@ -756,6 +778,12 @@ impl Server {
         self.stats.rx_frames += 1;
         match port {
             PORT_HW => {
+                if api.chaos_vf_down_at(api.self_id) {
+                    self.hw_path_up = false;
+                    self.stats.hw_path_drops += 1;
+                    return;
+                }
+                self.hw_path_up = true;
                 let Some(vlan) = pkt.outer_vlan() else {
                     self.stats.rx_drops += 1;
                     return;
@@ -827,6 +855,12 @@ impl Server {
     fn rx_run_hw(&mut self, api: &mut Api<'_, Event, NetCtx>, run: Vec<Packet>) {
         let n = run.len() as u64;
         self.stats.rx_frames += n;
+        if api.chaos_vf_down_at(api.self_id) {
+            self.hw_path_up = false;
+            self.stats.hw_path_drops += n;
+            return;
+        }
+        self.hw_path_up = true;
         let Some(vlan) = run[0].outer_vlan() else {
             self.stats.rx_drops += n;
             return;
@@ -1013,7 +1047,8 @@ impl Server {
             }
             CtrlRequest::InstallTorRules { .. }
             | CtrlRequest::RemoveTorRules { .. }
-            | CtrlRequest::DumpTorRules { .. } => {
+            | CtrlRequest::DumpTorRules { .. }
+            | CtrlRequest::Probe { .. } => {
                 // Not a server operation; ignore (a real switch agent would
                 // NAK — the controller never sends these to servers).
             }

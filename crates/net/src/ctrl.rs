@@ -112,6 +112,13 @@ pub enum CtrlRequest {
         /// Correlation id echoed in the reply.
         xid: u64,
     },
+    /// Hardware-path liveness probe (an OpenFlow echo request). The ToR
+    /// answers with [`CtrlReply::ProbeReply`] carrying its boot generation,
+    /// or a definitive [`CtrlReply::Error`] while it is rebooting.
+    Probe {
+        /// Correlation id echoed in the reply.
+        xid: u64,
+    },
     /// Set the hardware-path rate limit for a VM in one direction
     /// (enforced at the ToR, §4.1.4).
     SetHwRate {
@@ -168,6 +175,20 @@ pub enum CtrlReply {
         /// Fast-path entries in use (ACL rules + tunnel mappings), for
         /// invariant checking.
         fastpath_used: usize,
+        /// The ToR's boot generation when the dump was snapshotted. A dump
+        /// older than the controller's known generation is stale (taken
+        /// before a reboot wiped the table) and must be discarded, never
+        /// used to resurrect wiped rules.
+        boot_generation: u64,
+    },
+    /// Liveness probe reply (the ToR is up and reachable).
+    ProbeReply {
+        /// Correlation id from the request.
+        xid: u64,
+        /// The ToR's current boot generation: increments on every reboot,
+        /// so a generation newer than the controller's view proves a reboot
+        /// happened (and the hardware table was wiped) since the last probe.
+        boot_generation: u64,
     },
     /// Positive acknowledgement.
     Ack {

@@ -95,9 +95,13 @@ pub fn duplicate_ctl_event(ev: &Event) -> Option<Event> {
 
 /// Build a [`FaultLayer`] over [`Event`] that targets every control-plane
 /// message ([`Event::Ctl`]) and leaves data-path frames and timers alone.
-/// Attach with [`fastrak_sim::Kernel::set_fault_layer`].
+/// The chaos plane (scripted component outages in [`FaultConfig::chaos`])
+/// gets the complementary classifier: it blackholes [`Event::Frame`]s on
+/// dark ToRs and flapping links while control messages ride the out-of-band
+/// management network. Attach with [`fastrak_sim::Kernel::set_fault_layer`].
 pub fn ctl_fault_layer(cfg: FaultConfig) -> FaultLayer<Event> {
     FaultLayer::new(cfg, |ev| matches!(ev, Event::Ctl(_)), duplicate_ctl_event)
+        .with_frame_classifier(|ev| matches!(ev, Event::Frame { .. }))
 }
 
 impl std::fmt::Debug for CtlMsg {

@@ -259,6 +259,34 @@ impl FlowAggregate {
             FlowAggregate::SrcApp { tenant, .. } | FlowAggregate::DstApp { tenant, .. } => tenant,
         }
     }
+
+    /// The inverse of [`FlowAggregate::to_spec`]: recover the aggregate a
+    /// ToR rule was synthesized from. A controller that lost its memory
+    /// (warm restart) rebuilds its offloaded set from a `DumpTorRules`
+    /// snapshot through this mapping. Returns `None` for specs that no
+    /// aggregate produces (hand-installed or foreign rules).
+    pub fn from_spec(spec: &FlowSpec) -> Option<FlowAggregate> {
+        let tenant = spec.tenant?;
+        match (spec.src_ip, spec.src_port, spec.dst_ip, spec.dst_port) {
+            (Some(src_ip), Some(src_port), Some(dst_ip), Some(dst_port)) => {
+                Some(FlowAggregate::Exact(FlowKey {
+                    tenant,
+                    src_ip,
+                    dst_ip,
+                    proto: spec.proto?,
+                    src_port,
+                    dst_port,
+                }))
+            }
+            (Some(ip), Some(port), None, None) if spec.proto.is_none() => {
+                Some(FlowAggregate::SrcApp { tenant, ip, port })
+            }
+            (None, None, Some(ip), Some(port)) if spec.proto.is_none() => {
+                Some(FlowAggregate::DstApp { tenant, ip, port })
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +378,27 @@ mod tests {
         let spec = FlowAggregate::dst_of(&k).to_spec();
         assert!(spec.matches(&k));
         assert_eq!(spec.specificity(), 3);
+    }
+
+    #[test]
+    fn from_spec_inverts_to_spec() {
+        let k = key();
+        for agg in [
+            FlowAggregate::Exact(k),
+            FlowAggregate::src_of(&k),
+            FlowAggregate::dst_of(&k),
+        ] {
+            assert_eq!(FlowAggregate::from_spec(&agg.to_spec()), Some(agg));
+        }
+        // Specs no aggregate produces map to None.
+        assert_eq!(FlowAggregate::from_spec(&FlowSpec::ANY), None);
+        assert_eq!(
+            FlowAggregate::from_spec(&FlowSpec::tenant(TenantId(7))),
+            None
+        );
+        let mut odd = FlowAggregate::src_of(&k).to_spec();
+        odd.proto = Some(Proto::Tcp);
+        assert_eq!(FlowAggregate::from_spec(&odd), None);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! to *another* node); self-sends (timers) and harness-level
 //! [`crate::kernel::Kernel::post`] calls are never faulted.
 
+use crate::chaos::{ChaosConfig, ChaosPlane};
 use crate::fxhash::FxHashMap;
 use crate::kernel::NodeId;
 use crate::rng::Rng;
@@ -96,6 +97,11 @@ pub struct FaultConfig {
     /// [`crate::kernel::Api::fault_forces_install_failure`]). Checked
     /// against the clock only — no randomness involved.
     pub install_fail_windows: Vec<(SimTime, SimTime)>,
+    /// Scripted component-lifecycle outages (ToR reboots, SR-IOV failures,
+    /// link flaps, controller restarts) — see [`crate::chaos`]. Clock-driven
+    /// like the install windows, so chaos scripts never perturb the
+    /// probabilistic fault RNG stream.
+    pub chaos: ChaosConfig,
 }
 
 /// What the plane decided for one message.
@@ -127,6 +133,9 @@ pub struct FaultPlane {
     /// Outcome counters (inspected/dropped/delayed/duplicated/forced
     /// install failures).
     pub stats: FaultCounters,
+    /// The component-lifecycle outage engine (see [`crate::chaos`]). An
+    /// empty script is idle and costs nothing on the send path.
+    pub chaos: ChaosPlane,
 }
 
 impl FaultPlane {
@@ -141,6 +150,7 @@ impl FaultPlane {
             install_fail_windows: cfg.install_fail_windows,
             idle,
             stats: FaultCounters::default(),
+            chaos: ChaosPlane::new(cfg.chaos),
         }
     }
 
@@ -227,16 +237,30 @@ pub struct FaultLayer<E> {
     /// Clone an event for a duplication fault. Returning `None` opts the
     /// event out of duplication (it is still delivered once).
     pub duplicate: fn(&E) -> Option<E>,
+    /// True when this event is a data-plane frame — the event class the
+    /// chaos plane blackholes during ToR outages and link flaps. Control
+    /// messages and timers are never chaos-blocked (the management network
+    /// is out of band). Defaults to "nothing is a frame".
+    pub is_frame: fn(&E) -> bool,
 }
 
 impl<E> FaultLayer<E> {
-    /// Build a layer from a config and the two event hooks.
+    /// Build a layer from a config and the two event hooks. The frame
+    /// classifier defaults to "nothing is a frame"; harnesses that script
+    /// component outages attach one via [`FaultLayer::with_frame_classifier`].
     pub fn new(cfg: FaultConfig, classify: fn(&E) -> bool, duplicate: fn(&E) -> Option<E>) -> Self {
         FaultLayer {
             plane: FaultPlane::new(cfg),
             classify,
             duplicate,
+            is_frame: |_| false,
         }
+    }
+
+    /// Attach the data-plane frame classifier consulted by the chaos plane.
+    pub fn with_frame_classifier(mut self, is_frame: fn(&E) -> bool) -> Self {
+        self.is_frame = is_frame;
+        self
     }
 }
 

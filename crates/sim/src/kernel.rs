@@ -106,6 +106,15 @@ fn schedule_event<E>(
     let mut at = at.max(now);
     let mut dup: Option<(E, SimTime)> = None;
     if let (Some(layer), Some(src)) = (fault.as_mut(), src) {
+        // Component outages first: a dark ToR or flapping link blackholes
+        // data-plane frames outright (no RNG — the chaos plane is scripted).
+        if !layer.plane.chaos.is_idle()
+            && src != dst
+            && (layer.is_frame)(&ev)
+            && layer.plane.chaos.frame_blocked(src, dst, now)
+        {
+            return EventHandle::NULL;
+        }
         if !layer.plane.is_idle() && src != dst && (layer.classify)(&ev) {
             match layer.plane.decide(src, dst, now) {
                 FaultDecision::Deliver => {}
@@ -178,6 +187,44 @@ impl<'a, E, C> Api<'a, E, C> {
         match self.fault.as_mut() {
             Some(layer) => layer.plane.install_should_fail(self.now),
             None => false,
+        }
+    }
+
+    /// This node's chaos boot epoch (number of scripted ToR reboots that
+    /// have started). 0 when no fault layer or chaos script is attached.
+    /// The switch model wipes hardware state when the value changes.
+    pub fn chaos_tor_boot_epoch(&self) -> u64 {
+        match self.fault.as_ref() {
+            Some(layer) => layer.plane.chaos.tor_boot_epoch(self.self_id, self.now),
+            None => 0,
+        }
+    }
+
+    /// Is this node (a ToR) currently inside a scripted outage window?
+    pub fn chaos_tor_dark(&self) -> bool {
+        match self.fault.as_ref() {
+            Some(layer) => layer.plane.chaos.tor_dark(self.self_id, self.now),
+            None => false,
+        }
+    }
+
+    /// Is `node`'s SR-IOV hardware path currently scripted dark? Queried by
+    /// the server for itself and by its local controller (a different node)
+    /// standing in for NIC health registers.
+    pub fn chaos_vf_down_at(&self, node: NodeId) -> bool {
+        match self.fault.as_ref() {
+            Some(layer) => layer.plane.chaos.vf_down(node, self.now),
+            None => false,
+        }
+    }
+
+    /// This node's chaos restart epoch (number of scripted controller
+    /// crash+restart instants that have passed). 0 when nothing is
+    /// attached. The controller model wipes volatile state on change.
+    pub fn chaos_ctrl_restart_epoch(&self) -> u64 {
+        match self.fault.as_ref() {
+            Some(layer) => layer.plane.chaos.ctrl_restart_epoch(self.self_id, self.now),
+            None => 0,
         }
     }
 
@@ -575,6 +622,7 @@ impl<E, C> Kernel<E, C> {
         reg.gauge_set(g, self.cancelled_backlog() as f64);
         if let Some(plane) = self.fault_plane() {
             plane.stats.publish_into(reg);
+            plane.chaos.stats.publish_into(reg);
         }
     }
 }

@@ -27,6 +27,7 @@
 //! clock speed, and a single seeded run of the largest experiment finishes in
 //! well under a second of host time.
 
+pub mod chaos;
 pub mod cpu;
 pub mod fault;
 pub mod kernel;
@@ -43,6 +44,7 @@ pub mod trace;
 /// paths keep working.
 pub use fastrak_telemetry::fxhash;
 
+pub use chaos::{ChaosConfig, ChaosCounters, ChaosPlane};
 pub use cpu::CpuPool;
 pub use fault::{FaultConfig, FaultDecision, FaultLayer, FaultPlane, LinkFaults};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

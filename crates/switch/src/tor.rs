@@ -148,6 +148,10 @@ pub struct Tor {
     /// Per-QoS-class frame counters.
     pub qos_counters: FxHashMap<u8, u64>,
     fastpath_used: usize,
+    /// Boot generation: increments every time a chaos-scripted reboot wipes
+    /// the hardware state. Echoed in `TorRuleDump`/`ProbeReply` so the
+    /// controller can detect reboots and discard pre-reboot dumps.
+    boot_epoch: u64,
     /// Public counters.
     pub stats: TorStats,
 }
@@ -168,9 +172,47 @@ impl Tor {
             tunnel_dir: FxHashMap::default(),
             qos_counters: FxHashMap::default(),
             fastpath_used: 0,
+            boot_epoch: 0,
             stats: TorStats::default(),
             cfg,
         }
+    }
+
+    /// The switch's current boot generation (0 until a scripted reboot).
+    pub fn boot_generation(&self) -> u64 {
+        self.boot_epoch
+    }
+
+    /// Observe the chaos plane's boot epoch; on change, model the reboot:
+    /// everything a power cycle loses is wiped — VRF rule tables (with
+    /// their per-rule flow counters), the GRE tunnel directory, hardware
+    /// rate limiters, QoS counters, fast-path occupancy, and per-port
+    /// serialization state. Management-plane configuration (port wiring,
+    /// VLAN→tenant mapping, destination tables) survives: it reloads from
+    /// the management network at boot, exactly like a real ToR's startup
+    /// config.
+    fn maybe_reboot(&mut self, api: &mut Api<'_, Event, NetCtx>) {
+        let epoch = api.chaos_tor_boot_epoch();
+        if epoch <= self.boot_epoch {
+            return;
+        }
+        let wiped = self.acl_rules() + self.tunnel_entries();
+        self.vrfs.clear();
+        self.tunnel_dir.clear();
+        self.hw_rates.clear();
+        self.qos_counters.clear();
+        self.fastpath_used = 0;
+        for t in &mut self.port_free {
+            *t = SimTime::ZERO;
+        }
+        self.boot_epoch = epoch;
+        api.ctx.telemetry.flight.record(
+            api.now.as_nanos(),
+            "tor",
+            fastrak_telemetry::Severity::Warn,
+            "reboot: hardware state wiped",
+            [epoch, wiped as u64, 0],
+        );
     }
 
     // ------------------------------------------------------------ wiring --
@@ -367,6 +409,7 @@ impl Tor {
             ("tor.fastpath.tunnel_entries", self.tunnel_entries() as f64),
             ("tor.fastpath.used", self.fastpath_used as f64),
             ("tor.fastpath.free", self.fastpath_free() as f64),
+            ("tor.boot_generation", self.boot_epoch as f64),
         ] {
             let id = reg.gauge(name, tor);
             reg.gauge_set(id, v);
@@ -733,6 +776,38 @@ impl Tor {
     fn on_ctrl(&mut self, api: &mut Api<'_, Event, NetCtx>, from: NodeId, req: CtrlRequest) {
         /// Switch control-plane op latency (rule install via switch agent).
         const CTRL_LATENCY: SimDuration = SimDuration(200_000);
+        if api.chaos_tor_dark() {
+            // Mid-reboot: the management agent answers every correlated
+            // request with a *definitive* error rather than silently acking
+            // (or worse, acking an install into a table about to be wiped —
+            // the controller's retries would then leak phantom
+            // `entries_used`). Uncorrelated requests are dropped; the state
+            // they would have touched is gone after the wipe anyway.
+            let reply = match req {
+                CtrlRequest::InstallTorRules { xid, .. } => {
+                    self.stats.install_batches_rejected += 1;
+                    Some(xid)
+                }
+                CtrlRequest::DumpFlowStats { xid }
+                | CtrlRequest::DumpTorRules { xid }
+                | CtrlRequest::Probe { xid } => Some(xid),
+                _ => None,
+            };
+            if let Some(xid) = reply {
+                api.send(
+                    from,
+                    CTRL_LATENCY,
+                    Event::Ctl(CtlMsg::new(
+                        api.self_id,
+                        CtrlReply::Error {
+                            xid,
+                            reason: "tor rebooting",
+                        },
+                    )),
+                );
+            }
+            return;
+        }
         match req {
             CtrlRequest::DumpFlowStats { xid } => {
                 let entries = self.dump_rule_stats();
@@ -804,6 +879,20 @@ impl Tor {
                             xid,
                             rules,
                             fastpath_used: self.fastpath_used,
+                            boot_generation: self.boot_epoch,
+                        },
+                    )),
+                );
+            }
+            CtrlRequest::Probe { xid } => {
+                api.send(
+                    from,
+                    CTRL_LATENCY,
+                    Event::Ctl(CtlMsg::new(
+                        api.self_id,
+                        CtrlReply::ProbeReply {
+                            xid,
+                            boot_generation: self.boot_epoch,
                         },
                     )),
                 );
@@ -826,6 +915,7 @@ impl Tor {
 
 impl Node<Event, NetCtx> for Tor {
     fn on_event(&mut self, ev: Event, api: &mut Api<'_, Event, NetCtx>) {
+        self.maybe_reboot(api);
         match ev {
             Event::Frame { port: _, pkt } => {
                 // VLAN-tagged frames only originate from SR-IOV server
@@ -857,6 +947,7 @@ impl Node<Event, NetCtx> for Tor {
             }
             return;
         }
+        self.maybe_reboot(api);
         let mut burst = fastrak_net::PacketBurst::from_events(evs);
         while !burst.is_empty() {
             // The ToR ignores the ingress port; frames classify purely on
