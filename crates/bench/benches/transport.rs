@@ -1,0 +1,121 @@
+//! Benchmarks for the transport subsystem's hot paths: the established
+//! ACK-clocked send/receive cycle, SACK scoreboard maintenance under a
+//! lossy window, and ECN mark-or-drop admission on the drop-tail queue.
+//!
+//! Run with `cargo bench -p fastrak-bench --bench transport` (add
+//! `-- --quick` for a fast smoke pass). Set `FASTRAK_BENCH_JSON=<path>` to
+//! collect machine-readable results.
+
+use fastrak_bench::harness::{black_box, Suite};
+use fastrak_net::addr::{Ip, TenantId};
+use fastrak_net::flow::{FlowKey, Proto};
+use fastrak_net::packet::SackBlocks;
+use fastrak_sim::time::SimTime;
+use fastrak_transport::sack::Scoreboard;
+use fastrak_transport::tcp::{TcpConfig, TcpConn};
+
+fn flow() -> FlowKey {
+    FlowKey {
+        tenant: TenantId(3),
+        src_ip: Ip::new(10, 0, 0, 1),
+        dst_ip: Ip::new(10, 0, 0, 2),
+        proto: Proto::Tcp,
+        src_port: 40_000,
+        dst_port: 11_211,
+    }
+}
+
+/// Drain every pending segment from `from` into `to` at `now`.
+fn pump(from: &mut TcpConn, to: &mut TcpConn, now: SimTime) {
+    while let Some(p) = from.poll_transmit(now, 64) {
+        to.on_segment_full(now, p.seq, p.ack, p.flags, p.len as u64, false, p.sack);
+    }
+}
+
+/// An established client/server pair (handshake already pumped).
+fn established_pair() -> (TcpConn, TcpConn) {
+    let cfg = TcpConfig::default();
+    let mut c = TcpConn::client(flow(), cfg);
+    let mut s = TcpConn::listen(flow().reverse(), cfg);
+    let t0 = SimTime::ZERO;
+    pump(&mut c, &mut s, t0); // SYN
+    pump(&mut s, &mut c, t0); // SYN|ACK
+    pump(&mut c, &mut s, t0); // ACK
+    assert!(c.is_established() && s.is_established());
+    (c, s)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut su = Suite::new("transport");
+    if quick {
+        su = su.quick();
+    }
+
+    // One ACK-clocked transaction: the sender queues one MSS, emits it,
+    // the receiver consumes it and (every other segment or on the delack
+    // timer) acks, and the ack returns. This is the per-segment cost every
+    // simulated byte of every experiment pays.
+    {
+        let (mut c, mut s) = established_pair();
+        let mut now = SimTime::ZERO;
+        su.bench("tcp_ack_clock", || {
+            now = SimTime(now.as_nanos() + 10_000);
+            c.app_send(1448);
+            pump(&mut c, &mut s, now);
+            // Flush the delayed ACK so the window never stalls.
+            if let Some((_, w)) = s.next_timer() {
+                s.on_timer(now, w);
+            }
+            pump(&mut s, &mut c, now);
+            black_box(c.flight());
+        });
+        assert_eq!(c.flight(), 0, "ack clock must keep the pipe drained");
+    }
+
+    // Scoreboard maintenance under a lossy window: fold three-block SACK
+    // reports into the range map and walk the first repairable hole — the
+    // per-dup-ACK cost during every recovery episode.
+    {
+        let mss = 1448u64;
+        let mut i = 0u64;
+        let mut sb = Scoreboard::default();
+        su.bench("sack_scoreboard_update", || {
+            // A sliding lossy window: every 16th segment is a hole.
+            let base = i * mss;
+            let mut blocks = SackBlocks::EMPTY;
+            blocks.push(base + mss, base + 4 * mss);
+            blocks.push(base + 5 * mss, base + 9 * mss);
+            blocks.push(base + 10 * mss, base + 15 * mss);
+            sb.on_ack(base, &blocks);
+            black_box(sb.next_hole(base, base + 16 * mss, mss as u32));
+            i += 1;
+            if i.is_multiple_of(1024) {
+                sb.clear();
+            }
+        });
+    }
+
+    // ECN admission at burst width 32: the mark-or-drop decision the NIC
+    // and ToR queues make per packet when a marking threshold is armed
+    // (ns/pkt = ns/iter ÷ 32).
+    {
+        use fastrak_sim::DropTailQueue;
+        let mut q: DropTailQueue<u64> = DropTailQueue::new(64, 96_000);
+        q.set_ecn_threshold(Some(24_000));
+        let burst: Vec<(u64, u64, bool)> = (0..32u64).map(|i| (i, 1500, true)).collect();
+        su.bench("ecn_mark_burst/32", || {
+            let n = q.push_burst_ecn(
+                burst.iter().copied(),
+                |_, _, _| {},
+                |p| {
+                    black_box(&p);
+                },
+            );
+            black_box(n);
+            while q.pop().is_some() {}
+        });
+    }
+
+    su.finish();
+}

@@ -8,6 +8,7 @@ pub mod fig12;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod incast_matrix;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -31,6 +32,7 @@ pub fn all_ids() -> &'static [&'static str] {
         "fault_matrix",
         "tenant_matrix",
         "chaos_matrix",
+        "incast_matrix",
     ]
 }
 
@@ -49,6 +51,7 @@ pub fn run(id: &str, full: bool) -> Option<Vec<Artifact>> {
         "fault_matrix" => Some(fault_matrix::run(full)),
         "tenant_matrix" => Some(tenant_matrix::run(full)),
         "chaos_matrix" => Some(chaos_matrix::run(full)),
+        "incast_matrix" => Some(incast_matrix::run(full)),
         _ => None,
     }
 }
@@ -64,6 +67,9 @@ pub fn run(id: &str, full: bool) -> Option<Vec<Artifact>> {
 /// * `chaos_matrix` — `chaos_matrix.metrics.jsonl` + `chaos_matrix.prom`,
 ///   the ToR-reboot scenario's registry (`ctrl.chaos.*` detection and
 ///   `sim.chaos.*` injection counters included);
+/// * `incast_matrix` — `incast_matrix.metrics.jsonl` + `incast_matrix.prom`,
+///   the DCTCP + migration + widest-fan-out cell's registry (per-server
+///   `tcp.*` transport counters and fabric ECN mark counters included);
 /// * `fig12` — `fig12.trace.json`, a Chrome trace-event file of the flow
 ///   migration (load in Perfetto / `chrome://tracing`);
 /// * everything else runs unchanged (telemetry stays zero-config).
@@ -106,6 +112,18 @@ pub fn run_with_telemetry(id: &str, full: bool, dir: &std::path::Path) -> Option
             );
             write(
                 "chaos_matrix.prom",
+                fastrak_telemetry::export::prometheus_text(&reg),
+            );
+            Some(arts)
+        }
+        "incast_matrix" => {
+            let (arts, reg) = incast_matrix::run_with_export(full);
+            write(
+                "incast_matrix.metrics.jsonl",
+                fastrak_telemetry::export::metrics_jsonl(&reg),
+            );
+            write(
+                "incast_matrix.prom",
                 fastrak_telemetry::export::prometheus_text(&reg),
             );
             Some(arts)

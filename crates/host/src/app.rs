@@ -55,6 +55,17 @@ impl GuestApi<'_> {
         self.stack.app_send(conn, bytes)
     }
 
+    /// Gracefully close a connection: a FIN follows any queued data, and
+    /// the connection keeps receiving until the peer closes too.
+    pub fn close(&mut self, conn: ConnId) {
+        self.stack.close(conn);
+    }
+
+    /// Abortively close a connection (RST).
+    pub fn abort(&mut self, conn: ConnId) {
+        self.stack.abort(conn);
+    }
+
     /// Inspect a connection (stats, RTT, state).
     pub fn conn(&self, id: ConnId) -> &TcpConn {
         self.stack.conn(id)

@@ -76,6 +76,10 @@ pub struct ServerConfig {
     pub max_link_backlog: SimDuration,
     /// Drop receive work the host cannot start within this budget.
     pub max_rx_backlog: SimDuration,
+    /// When set, CE-mark (instead of queueing unmarked) any ECT packet that
+    /// would wait longer than this in the NIC tx ring — RED-style marking
+    /// at the host egress, the DCTCP deployment model's K threshold.
+    pub ecn_mark_threshold: Option<SimDuration>,
     /// When set, *pin* this server: all guest vCPU work **and** all
     /// hypervisor network processing compete for this one pool of logical
     /// CPUs (the paper's Table-1 setup pins 3 VMs to 4 CPUs, §6.1.1, so the
@@ -99,6 +103,7 @@ impl ServerConfig {
             vswitch: VswitchConfig::default(),
             max_link_backlog: SimDuration::from_millis(12),
             max_rx_backlog: SimDuration::from_millis(5),
+            ecn_mark_threshold: None,
             pinned_cpus: None,
         }
     }
@@ -132,6 +137,9 @@ pub struct ServerStats {
     pub dp_batch_pkts: u64,
     /// Frames processed through the scalar per-packet path.
     pub dp_scalar_pkts: u64,
+    /// ECT packets CE-marked at the NIC tx ring (never also counted as
+    /// drops: marking is instead-of-dropping).
+    pub ecn_marked: u64,
 }
 
 #[allow(clippy::enum_variant_names)] // stages are all completions
@@ -304,6 +312,7 @@ impl Server {
             ("host.dp.bursts", self.stats.dp_bursts),
             ("host.dp.batch_pkts", self.stats.dp_batch_pkts),
             ("host.dp.scalar_pkts", self.stats.dp_scalar_pkts),
+            ("host.ecn_marked", self.stats.ecn_marked),
         ] {
             let id = reg.counter(name, server);
             reg.set_counter(id, v);
@@ -323,6 +332,7 @@ impl Server {
             reg.set_counter(rx, vf.rx_packets);
         }
         let mut tcp = fastrak_transport::tcp::TcpStats::default();
+        let mut conn_states = [0u64; 11];
         let cwnd_id = reg.histogram("tcp.cwnd_bytes", server);
         for vm in &self.vms {
             for cid in vm.stack.conn_ids() {
@@ -338,6 +348,26 @@ impl Server {
                 tcp.bytes_acked += s.bytes_acked;
                 tcp.bytes_delivered += s.bytes_delivered;
                 tcp.delayed_acks += s.delayed_acks;
+                tcp.rtx_segs += s.rtx_segs;
+                tcp.ecn_ce_rx += s.ecn_ce_rx;
+                tcp.ecn_ece_rx += s.ecn_ece_rx;
+                tcp.ecn_ece_tx += s.ecn_ece_tx;
+                tcp.ecn_cwr_tx += s.ecn_cwr_tx;
+                use fastrak_transport::tcp::TcpState as S;
+                let si = match conn.state() {
+                    S::Closed => 0,
+                    S::Listen => 1,
+                    S::SynSent => 2,
+                    S::SynRcvd => 3,
+                    S::Established => 4,
+                    S::FinWait1 => 5,
+                    S::FinWait2 => 6,
+                    S::Closing => 7,
+                    S::CloseWait => 8,
+                    S::LastAck => 9,
+                    S::TimeWait => 10,
+                };
+                conn_states[si] += 1;
                 reg.observe(cwnd_id, conn.cwnd());
             }
         }
@@ -351,9 +381,30 @@ impl Server {
             ("tcp.ooo_segs_rx", tcp.ooo_segs_rx),
             ("tcp.bytes_acked", tcp.bytes_acked),
             ("tcp.bytes_delivered", tcp.bytes_delivered),
+            ("tcp.rtx_segs", tcp.rtx_segs),
+            ("tcp.ecn_ce_rx", tcp.ecn_ce_rx),
+            ("tcp.ecn_ece_rx", tcp.ecn_ece_rx),
+            ("tcp.ecn_ece_tx", tcp.ecn_ece_tx),
+            ("tcp.ecn_cwr_tx", tcp.ecn_cwr_tx),
         ] {
             let id = reg.counter(name, server);
             reg.set_counter(id, v);
+        }
+        for (name, si) in [
+            ("tcp.conns.closed", 0usize),
+            ("tcp.conns.listen", 1),
+            ("tcp.conns.syn_sent", 2),
+            ("tcp.conns.syn_rcvd", 3),
+            ("tcp.conns.established", 4),
+            ("tcp.conns.fin_wait_1", 5),
+            ("tcp.conns.fin_wait_2", 6),
+            ("tcp.conns.closing", 7),
+            ("tcp.conns.close_wait", 8),
+            ("tcp.conns.last_ack", 9),
+            ("tcp.conns.time_wait", 10),
+        ] {
+            let id = reg.gauge(name, server);
+            reg.gauge_set(id, conn_states[si] as f64);
         }
     }
 
@@ -472,7 +523,7 @@ impl Server {
                 break;
             };
             let flow = vm.stack.conn(conn).flow;
-            let pkt = Packet::new(
+            let mut pkt = Packet::new(
                 api.ctx.alloc_packet_id(),
                 flow,
                 L4Meta::Tcp {
@@ -483,6 +534,8 @@ impl Server {
                 plan.len,
                 api.now,
             );
+            pkt.ecn = plan.ecn;
+            pkt.sack = plan.sack;
             let cost = self.cfg.cost.guest_tx(&pkt);
             let done = self.submit_guest(vm_idx, api.now, cost);
             let done = self.seq_clamp(&flow, 0, done);
@@ -730,7 +783,13 @@ impl Server {
         }
     }
 
-    fn nic_tx(&mut self, api: &mut Api<'_, Event, NetCtx>, port: usize, at: SimTime, pkt: Packet) {
+    fn nic_tx(
+        &mut self,
+        api: &mut Api<'_, Event, NetCtx>,
+        port: usize,
+        at: SimTime,
+        mut pkt: Packet,
+    ) {
         let Some((tor, tor_port)) = self.uplinks[port] else {
             // Unwired port: drop silently in tests that don't build a fabric.
             self.stats.tx_ring_drops += 1;
@@ -741,6 +800,15 @@ impl Server {
         if start.since(at) > self.cfg.max_link_backlog {
             self.stats.tx_ring_drops += 1;
             return;
+        }
+        if let Some(th) = self.cfg.ecn_mark_threshold {
+            // Admitted ECT packets over the marking threshold carry CE
+            // instead of waiting unmarked (drops above were already taken:
+            // a marked packet is never also a drop).
+            if fastrak_net::headers::ecn::is_ect(pkt.ecn) && start.since(at) > th {
+                pkt.ecn = fastrak_net::headers::ecn::CE;
+                self.stats.ecn_marked += 1;
+            }
         }
         let ser = serialization_delay(pkt.wire_bytes_total(), self.cfg.nic_rate_bps);
         let end = start + ser;

@@ -208,6 +208,29 @@ pub mod tcp_flags {
     pub const PSH: u8 = 0x08;
     /// ACK.
     pub const ACK: u8 = 0x10;
+    /// ECN-Echo (RFC 3168): receiver → sender congestion signal; on SYN /
+    /// SYN|ACK it negotiates ECN capability.
+    pub const ECE: u8 = 0x40;
+    /// Congestion Window Reduced (RFC 3168): sender acknowledges an ECE.
+    pub const CWR: u8 = 0x80;
+}
+
+/// ECN codepoints: the low two bits of the IPv4 DSCP/ECN byte (RFC 3168
+/// §5). The upper six bits stay with the DSCP/QoS class.
+pub mod ecn {
+    /// Not ECN-capable transport.
+    pub const NOT_ECT: u8 = 0b00;
+    /// ECN-capable transport, codepoint 1.
+    pub const ECT1: u8 = 0b01;
+    /// ECN-capable transport, codepoint 0 (the one senders normally set).
+    pub const ECT0: u8 = 0b10;
+    /// Congestion experienced — set by a queue instead of dropping.
+    pub const CE: u8 = 0b11;
+
+    /// Is this codepoint ECN-capable (eligible for CE marking)?
+    pub const fn is_ect(cp: u8) -> bool {
+        cp & 0b11 != NOT_ECT
+    }
 }
 
 impl TcpHeader {

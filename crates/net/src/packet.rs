@@ -137,6 +137,49 @@ impl EncapStack {
     }
 }
 
+/// Up to three SACK blocks (RFC 2018 limit with timestamps present), each a
+/// `[start, end)` byte range the receiver holds above the cumulative ACK.
+/// Carried as structured metadata next to [`L4Meta`] — the wire codec's
+/// fixed 20-byte TCP header plus the 12-byte options allowance already
+/// accounts for the option space, so sizes stay faithful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SackBlocks {
+    n: u8,
+    blocks: [(u64, u64); 3],
+}
+
+impl SackBlocks {
+    /// No blocks.
+    pub const EMPTY: SackBlocks = SackBlocks {
+        n: 0,
+        blocks: [(0, 0); 3],
+    };
+
+    /// Append a `[start, end)` block; silently ignored beyond three (the
+    /// receiver reports its most relevant ranges first).
+    pub fn push(&mut self, start: u64, end: u64) {
+        if (self.n as usize) < 3 && end > start {
+            self.blocks[self.n as usize] = (start, end);
+            self.n += 1;
+        }
+    }
+
+    /// Number of blocks carried.
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// True when no blocks are carried.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Iterate the carried `(start, end)` ranges.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.blocks[..self.n as usize].iter().copied()
+    }
+}
+
 /// L4 metadata carried by a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum L4Meta {
@@ -189,6 +232,12 @@ pub struct Packet {
     pub sent_at: SimTime,
     /// DSCP/QoS class requested by tenant QoS rules.
     pub qos_class: u8,
+    /// ECN codepoint ([`crate::headers::ecn`]): the low two bits of the IP
+    /// DSCP/ECN byte. Senders set ECT(0) on ECN-negotiated flows; queues
+    /// rewrite it to CE instead of dropping.
+    pub ecn: u8,
+    /// SACK blocks carried by a TCP ACK (empty on non-SACK flows).
+    pub sack: SackBlocks,
 }
 
 impl Packet {
@@ -203,6 +252,8 @@ impl Packet {
             path: PathTag::Unplaced,
             sent_at,
             qos_class: 0,
+            ecn: 0,
+            sack: SackBlocks::EMPTY,
         }
     }
 
@@ -299,7 +350,7 @@ impl Packet {
                         total_len: (under[idx] - EthernetHeader::LEN as u32
                             + (Ipv4Header::LEN + GreHeader::LEN) as u32)
                             as u16,
-                        dscp_ecn: self.qos_class << 2,
+                        dscp_ecn: self.qos_class << 2 | self.ecn,
                         ttl: 64,
                         ident: self.id as u16,
                     }
@@ -326,7 +377,7 @@ impl Packet {
                         dst: *dst,
                         protocol: 17,
                         total_len: udp_len + Ipv4Header::LEN as u16,
-                        dscp_ecn: self.qos_class << 2,
+                        dscp_ecn: self.qos_class << 2 | self.ecn,
                         ttl: 64,
                         ident: self.id as u16,
                     }
@@ -362,7 +413,7 @@ impl Packet {
             dst: self.flow.dst_ip,
             protocol: self.flow.proto.number(),
             total_len: (Ipv4Header::LEN as u32 + l4_len + self.payload) as u16,
-            dscp_ecn: self.qos_class << 2,
+            dscp_ecn: self.qos_class << 2 | self.ecn,
             ttl: 64,
             ident: self.id as u16,
         }
@@ -545,6 +596,41 @@ mod tests {
         p.encap(Encap::Vlan(1));
         p.encap(Encap::Vlan(2));
         p.encap(Encap::Vlan(3));
+    }
+
+    #[test]
+    fn ecn_codepoint_rides_the_dscp_byte() {
+        use crate::headers::ecn;
+        let mut p = pkt(64);
+        p.qos_class = 5;
+        p.ecn = ecn::CE;
+        let bytes = p.encode_wire(Mac::local(1), Mac::local(2));
+        // Inner IPv4 header starts right after the 14-byte Ethernet header;
+        // DSCP/ECN is its second byte.
+        assert_eq!(bytes[EthernetHeader::LEN + 1], 5 << 2 | ecn::CE);
+        // And on the *outer* header of an encapsulated packet.
+        p.encap(Encap::Vxlan {
+            vni: 3,
+            src: Ip::new(172, 16, 0, 1),
+            dst: Ip::new(172, 16, 0, 2),
+        });
+        let bytes = p.encode_wire(Mac::local(1), Mac::local(2));
+        assert_eq!(bytes[EthernetHeader::LEN + 1], 5 << 2 | ecn::CE);
+    }
+
+    #[test]
+    fn sack_blocks_cap_at_three_and_reject_empty() {
+        let mut s = SackBlocks::EMPTY;
+        assert!(s.is_empty());
+        s.push(10, 10); // empty range ignored
+        assert!(s.is_empty());
+        s.push(10, 20);
+        s.push(30, 40);
+        s.push(50, 60);
+        s.push(70, 80); // beyond three: dropped
+        assert_eq!(s.len(), 3);
+        let v: Vec<_> = s.iter().collect();
+        assert_eq!(v, vec![(10, 20), (30, 40), (50, 60)]);
     }
 
     #[test]

@@ -38,6 +38,21 @@ pub enum DropCause {
     ByteBound,
 }
 
+/// Outcome of an ECN-aware admit ([`DropTailQueue::push_ecn`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcnVerdict {
+    /// The packet was enqueued; `marked` is true when the instantaneous
+    /// byte depth was at or above the marking threshold and the packet was
+    /// ECT. A marked packet is admitted — it is never also a drop.
+    Admitted {
+        /// CE mark applied.
+        marked: bool,
+    },
+    /// The packet was rejected by a bound (identical semantics and
+    /// accounting to [`DropTailQueue::push`]).
+    Dropped(DropCause),
+}
+
 /// A bounded FIFO with drop-tail semantics.
 #[derive(Debug, Clone)]
 pub struct DropTailQueue<T> {
@@ -47,6 +62,9 @@ pub struct DropTailQueue<T> {
     cur_bytes: u64,
     enqueued: u64,
     drops: QueueDropStats,
+    /// RED/DCTCP-style marking threshold in bytes (`None` = marking off).
+    ecn_threshold: Option<u64>,
+    marks: u64,
 }
 
 impl<T> DropTailQueue<T> {
@@ -60,7 +78,23 @@ impl<T> DropTailQueue<T> {
             cur_bytes: 0,
             enqueued: 0,
             drops: QueueDropStats::default(),
+            ecn_threshold: None,
+            marks: 0,
         }
+    }
+
+    /// Enable (or disable with `None`) ECN marking: an admitted ECT packet
+    /// is CE-marked when the byte depth at enqueue time is at or above
+    /// `bytes` — DCTCP's instantaneous single-threshold K. The plain
+    /// [`Self::push`]/[`Self::push_burst`] paths are unaffected.
+    pub fn set_ecn_threshold(&mut self, bytes: Option<u64>) {
+        self.ecn_threshold = bytes;
+    }
+
+    /// Packets CE-marked since construction. Disjoint from drops by
+    /// construction: only admitted packets can be marked.
+    pub fn marks(&self) -> u64 {
+        self.marks
     }
 
     /// Attempt to enqueue `item` of `bytes`; returns `false` (and counts a
@@ -109,6 +143,73 @@ impl<T> DropTailQueue<T> {
             }
             match self.cur_bytes.checked_add(bytes) {
                 Some(new_bytes) if new_bytes <= self.max_bytes => {
+                    self.items.push_back((item, bytes));
+                    self.cur_bytes = new_bytes;
+                    self.enqueued += 1;
+                    admitted += 1;
+                }
+                _ => {
+                    self.drops.byte_bound += 1;
+                    on_drop(item, bytes, DropCause::ByteBound);
+                }
+            }
+        }
+        admitted
+    }
+
+    /// ECN-aware admit: apply the exact bound checks of [`Self::push`];
+    /// when the packet is admitted, ECT, and the pre-admit byte depth is at
+    /// or above the marking threshold, it is counted as marked. Marking and
+    /// dropping are mutually exclusive per packet — a drop is attributed to
+    /// its bound and never counted as a mark, and vice versa.
+    pub fn push_ecn(&mut self, item: T, bytes: u64, ect: bool) -> EcnVerdict {
+        if self.items.len() >= self.max_packets {
+            self.drops.packet_bound += 1;
+            return EcnVerdict::Dropped(DropCause::PacketBound);
+        }
+        match self.cur_bytes.checked_add(bytes) {
+            Some(new_bytes) if new_bytes <= self.max_bytes => {
+                let marked = ect && self.ecn_threshold.is_some_and(|k| self.cur_bytes >= k);
+                if marked {
+                    self.marks += 1;
+                }
+                self.items.push_back((item, bytes));
+                self.cur_bytes = new_bytes;
+                self.enqueued += 1;
+                EcnVerdict::Admitted { marked }
+            }
+            _ => {
+                self.drops.byte_bound += 1;
+                EcnVerdict::Dropped(DropCause::ByteBound)
+            }
+        }
+    }
+
+    /// ECN-aware batch admit: per-packet [`Self::push_ecn`] semantics over
+    /// a burst of `(item, bytes, ect)`. Rejected items go to `on_drop` with
+    /// the bound that rejected *that packet*; items marked at admission are
+    /// handed to `on_mark` (to stamp CE) before they are stored. Returns
+    /// the number admitted. A packet reaches at most one callback: marks
+    /// are never double-counted as drops.
+    pub fn push_burst_ecn(
+        &mut self,
+        items: impl IntoIterator<Item = (T, u64, bool)>,
+        mut on_drop: impl FnMut(T, u64, DropCause),
+        mut on_mark: impl FnMut(&mut T),
+    ) -> usize {
+        let mut admitted = 0;
+        for (mut item, bytes, ect) in items {
+            if self.items.len() >= self.max_packets {
+                self.drops.packet_bound += 1;
+                on_drop(item, bytes, DropCause::PacketBound);
+                continue;
+            }
+            match self.cur_bytes.checked_add(bytes) {
+                Some(new_bytes) if new_bytes <= self.max_bytes => {
+                    if ect && self.ecn_threshold.is_some_and(|k| self.cur_bytes >= k) {
+                        self.marks += 1;
+                        on_mark(&mut item);
+                    }
                     self.items.push_back((item, bytes));
                     self.cur_bytes = new_bytes;
                     self.enqueued += 1;
@@ -295,6 +396,82 @@ mod tests {
             assert_eq!(Some(a), batched.pop());
         }
         assert!(batched.pop().is_none());
+    }
+
+    /// Regression (drop/mark attribution): a packet is counted as a mark
+    /// *or* a drop, never both — and admitted+dropped partitions the burst.
+    #[test]
+    fn ecn_marks_never_double_counted_as_drops() {
+        let mut q = DropTailQueue::new(4, 4_000);
+        q.set_ecn_threshold(Some(1_000));
+        let mut drops = Vec::new();
+        let mut marked = Vec::new();
+        // 6 ECT packets of 900B: 4 admitted (depth crosses 1000B at the
+        // 2nd), then the ring is full — 2 packet-bound drops.
+        let admitted = q.push_burst_ecn(
+            (0..6).map(|i| (i, 900, true)),
+            |item, _, cause| drops.push((item, cause)),
+            |item| marked.push(*item),
+        );
+        assert_eq!(admitted, 4);
+        assert_eq!(
+            drops,
+            vec![(4, DropCause::PacketBound), (5, DropCause::PacketBound)]
+        );
+        // Depth before items 2 and 3 was 1800/2700 ≥ K; item 1 saw 900.
+        assert_eq!(marked, vec![2, 3]);
+        assert_eq!(q.marks(), 2);
+        assert_eq!(q.dropped(), 2);
+        // Partition: every packet is exactly one of admitted/dropped, and
+        // marks only ever come out of the admitted set.
+        assert_eq!(admitted as u64 + q.dropped(), 6);
+        assert!(q.marks() <= admitted as u64);
+    }
+
+    #[test]
+    fn ecn_marking_requires_ect_and_threshold() {
+        let mut q = DropTailQueue::new(100, 100_000);
+        // Threshold unset: nothing marks.
+        assert_eq!(
+            q.push_ecn(1, 2_000, true),
+            EcnVerdict::Admitted { marked: false }
+        );
+        q.set_ecn_threshold(Some(1_000));
+        // Not-ECT above threshold: no mark (a real RED would drop; this
+        // queue only bounds, so the packet just rides unmarked).
+        assert_eq!(
+            q.push_ecn(2, 500, false),
+            EcnVerdict::Admitted { marked: false }
+        );
+        // ECT above threshold: marked.
+        assert_eq!(
+            q.push_ecn(3, 500, true),
+            EcnVerdict::Admitted { marked: true }
+        );
+        assert_eq!(q.marks(), 1);
+        assert_eq!(q.dropped(), 0);
+    }
+
+    /// Differential: with marking off (or all-not-ECT), the ECN admit paths
+    /// are bit-identical to the plain ones — admits, order, and per-cause
+    /// drop counters all agree.
+    #[test]
+    fn ecn_paths_match_plain_paths_when_not_ect() {
+        let sizes: Vec<u64> = (0..40).map(|i| (i * 37) % 900 + 50).collect();
+        let mut plain = DropTailQueue::new(16, 8_000);
+        let mut ecn = DropTailQueue::new(16, 8_000);
+        ecn.set_ecn_threshold(Some(100)); // armed, but nothing is ECT
+        for (i, &b) in sizes.iter().enumerate() {
+            plain.push(i, b);
+            ecn.push_ecn(i, b, false);
+        }
+        assert_eq!(plain.drop_stats(), ecn.drop_stats());
+        assert_eq!(plain.enqueued(), ecn.enqueued());
+        assert_eq!(ecn.marks(), 0);
+        while let Some(a) = plain.pop() {
+            assert_eq!(Some(a), ecn.pop());
+        }
+        assert!(ecn.pop().is_none());
     }
 
     #[test]

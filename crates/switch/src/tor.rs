@@ -70,6 +70,10 @@ pub struct TorConfig {
     pub wire_latency: SimDuration,
     /// Drop frames when a port is backlogged beyond this.
     pub max_port_backlog: SimDuration,
+    /// When set, CE-mark (RFC 3168 RED-style) any admitted ECT frame that
+    /// would wait longer than this in a port's output queue — the switch
+    /// half of the DCTCP deployment model (threshold K).
+    pub ecn_mark_threshold: Option<SimDuration>,
 }
 
 impl TorConfig {
@@ -84,6 +88,7 @@ impl TorConfig {
             latency: SimDuration::from_micros(1),
             wire_latency: SimDuration(300),
             max_port_backlog: SimDuration::from_millis(12),
+            ecn_mark_threshold: None,
         }
     }
 }
@@ -112,6 +117,9 @@ pub struct TorStats {
     pub rules_installed: u64,
     /// Individual ACL rules removed (controller demotes + rollbacks).
     pub rules_removed: u64,
+    /// ECT frames CE-marked in a port output queue (marked frames are
+    /// admitted, never also counted as drops).
+    pub ecn_marked: u64,
 }
 
 /// What a port is wired to.
@@ -400,6 +408,7 @@ impl Tor {
             ),
             ("tor.rules_installed", self.stats.rules_installed),
             ("tor.rules_removed", self.stats.rules_removed),
+            ("tor.ecn_marked", self.stats.ecn_marked),
         ] {
             let id = reg.counter(name, tor);
             reg.set_counter(id, v);
@@ -452,7 +461,7 @@ impl Tor {
         api: &mut Api<'_, Event, NetCtx>,
         port: usize,
         at: SimTime,
-        pkt: Packet,
+        mut pkt: Packet,
     ) {
         let Some(wire) = self.wires[port] else {
             self.stats.fwd_drops += 1;
@@ -463,6 +472,15 @@ impl Tor {
         if start.since(at) > self.cfg.max_port_backlog {
             self.stats.fwd_drops += 1;
             return;
+        }
+        if let Some(th) = self.cfg.ecn_mark_threshold {
+            // Admitted ECT frames over the marking threshold carry CE; a
+            // marked frame is never also a drop (the drop test above ran
+            // first, against the larger backlog bound).
+            if fastrak_net::headers::ecn::is_ect(pkt.ecn) && start.since(at) > th {
+                pkt.ecn = fastrak_net::headers::ecn::CE;
+                self.stats.ecn_marked += 1;
+            }
         }
         let end = start + serialization_delay(pkt.wire_bytes_total(), self.cfg.port_rate_bps);
         self.port_free[port] = end;

@@ -7,11 +7,11 @@ use fastrak_sim::{FxHashMap, FxHashSet};
 use std::collections::VecDeque;
 
 use fastrak_net::flow::FlowKey;
-use fastrak_net::headers::tcp_flags;
+use fastrak_net::headers::{ecn, tcp_flags};
 use fastrak_net::packet::{L4Meta, Packet};
 use fastrak_sim::time::SimTime;
 
-use crate::tcp::{SegmentPlan, TcpConfig, TcpConn};
+use crate::tcp::{SegmentPlan, TcpConfig, TcpConn, TcpState};
 
 /// Identifier of a connection within one stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,6 +36,14 @@ pub enum SockEvent {
         /// Newly delivered byte count.
         bytes: u64,
     },
+    /// The peer's FIN was consumed: no more data will arrive. The local
+    /// side may keep sending (half-close) until it calls close itself.
+    PeerClosed(ConnId),
+    /// The connection fully left the state machine (LAST_ACK's final ACK
+    /// arrived, TIME_WAIT expired, or an RST tore it down).
+    Closed(ConnId),
+    /// The peer reset the connection.
+    Reset(ConnId),
 }
 
 /// A VM's TCP stack.
@@ -86,6 +94,17 @@ impl TcpStack {
         self.conns[conn.0 as usize].app_send(bytes)
     }
 
+    /// Graceful close: a FIN follows any queued data. The connection keeps
+    /// receiving until the peer closes too (half-close semantics).
+    pub fn close(&mut self, conn: ConnId) {
+        self.conns[conn.0 as usize].close();
+    }
+
+    /// Abortive close: emit an RST and discard all state immediately.
+    pub fn abort(&mut self, conn: ConnId) {
+        self.conns[conn.0 as usize].abort();
+    }
+
     /// Access a connection (stats, state).
     pub fn conn(&self, id: ConnId) -> &TcpConn {
         &self.conns[id.0 as usize]
@@ -121,18 +140,19 @@ impl TcpStack {
         let L4Meta::Tcp { seq, ack, flags } = pkt.l4 else {
             return; // non-TCP is dropped by this stack
         };
+        let is_bare_syn = flags & tcp_flags::SYN != 0 && flags & tcp_flags::ACK == 0;
+        let ecn_requested = flags & tcp_flags::ECE != 0 && flags & tcp_flags::CWR != 0;
         // The sender's flow reversed is our outgoing flow key.
         let ours = pkt.flow.reverse();
         let idx = match self.by_flow.get(&ours) {
             Some(&i) => i,
             None => {
                 // New inbound connection?
-                if flags & tcp_flags::SYN != 0
-                    && flags & tcp_flags::ACK == 0
-                    && self.listeners.contains(&pkt.flow.dst_port)
-                {
+                if is_bare_syn && self.listeners.contains(&pkt.flow.dst_port) {
                     let id = self.conns.len();
-                    self.conns.push(TcpConn::server(ours, self.cfg));
+                    let mut conn = TcpConn::server(ours, self.cfg);
+                    conn.set_peer_ecn_request(ecn_requested);
+                    self.conns.push(conn);
                     self.by_flow.insert(ours, id);
                     self.events.push_back(SockEvent::Accepted {
                         conn: ConnId(id as u32),
@@ -143,7 +163,34 @@ impl TcpStack {
                 return; // no listener: drop (RST not modelled)
             }
         };
-        let out = self.conns[idx].on_segment(now, seq, ack, flags, pkt.payload as u64);
+        // TIME_WAIT / CLOSED reuse: a fresh SYN on a finished flow key
+        // replaces the stale incarnation with a new accepted connection
+        // (the simulated equivalent of SO_REUSEADDR + sequence validation).
+        if is_bare_syn
+            && matches!(
+                self.conns[idx].state(),
+                TcpState::TimeWait | TcpState::Closed
+            )
+            && self.listeners.contains(&pkt.flow.dst_port)
+        {
+            let mut conn = TcpConn::server(ours, self.cfg);
+            conn.set_peer_ecn_request(ecn_requested);
+            self.conns[idx] = conn;
+            self.events.push_back(SockEvent::Accepted {
+                conn: ConnId(idx as u32),
+                port: pkt.flow.dst_port,
+            });
+            return;
+        }
+        let out = self.conns[idx].on_segment_full(
+            now,
+            seq,
+            ack,
+            flags,
+            pkt.payload as u64,
+            pkt.ecn == ecn::CE,
+            pkt.sack,
+        );
         if out.connected {
             self.events
                 .push_back(SockEvent::Connected(ConnId(idx as u32)));
@@ -153,6 +200,16 @@ impl TcpStack {
                 conn: ConnId(idx as u32),
                 bytes: out.delivered,
             });
+        }
+        if out.peer_fin {
+            self.events
+                .push_back(SockEvent::PeerClosed(ConnId(idx as u32)));
+        }
+        if out.reset {
+            self.events.push_back(SockEvent::Reset(ConnId(idx as u32)));
+        }
+        if out.closed {
+            self.events.push_back(SockEvent::Closed(ConnId(idx as u32)));
         }
     }
 
@@ -180,7 +237,8 @@ impl TcpStack {
 
     /// Fire all timers due at `now`. Follow with [`TcpStack::poll_transmit`].
     pub fn on_timer(&mut self, now: SimTime) {
-        for c in &mut self.conns {
+        for (idx, c) in self.conns.iter_mut().enumerate() {
+            let was_closed = c.is_closed();
             while let Some((deadline, which)) = c.next_timer() {
                 if deadline > now {
                     break;
@@ -191,6 +249,10 @@ impl TcpStack {
                 if c.next_timer().map(|(t, _)| t) == Some(deadline) {
                     break;
                 }
+            }
+            if !was_closed && c.is_closed() {
+                // TIME_WAIT expiry (2·MSL) released the connection.
+                self.events.push_back(SockEvent::Closed(ConnId(idx as u32)));
             }
         }
     }
@@ -250,7 +312,7 @@ mod tests {
     }
 
     fn mk_pkt(flow: FlowKey, plan: SegmentPlan) -> Packet {
-        Packet::new(
+        let mut pkt = Packet::new(
             0,
             flow,
             L4Meta::Tcp {
@@ -260,7 +322,10 @@ mod tests {
             },
             plan.len,
             t(0),
-        )
+        );
+        pkt.ecn = plan.ecn;
+        pkt.sack = plan.sack;
+        pkt
     }
 
     #[test]
@@ -328,6 +393,111 @@ mod tests {
         let c = client.connect(flow(40_004));
         assert_eq!(client.conn_by_flow(&flow(40_004)), Some(c));
         assert_eq!(client.conn_by_flow(&flow(1)), None);
+    }
+
+    #[test]
+    fn close_lifecycle_emits_events_and_reuses_time_wait_flow() {
+        let mut client = TcpStack::new(TcpConfig::default());
+        let mut server = TcpStack::new(TcpConfig::default());
+        server.listen(7000);
+        let c = client.connect(flow(40_010));
+        let mut now = 0;
+        pump(&mut client, &mut server, &mut now);
+        let srv_conn = server
+            .drain_events()
+            .iter()
+            .find_map(|e| match e {
+                SockEvent::Accepted { conn, .. } => Some(*conn),
+                _ => None,
+            })
+            .unwrap();
+        client.drain_events();
+
+        // Client closes; server sees the peer FIN.
+        client.close(c);
+        pump(&mut client, &mut server, &mut now);
+        assert!(server
+            .drain_events()
+            .contains(&SockEvent::PeerClosed(srv_conn)));
+        assert_eq!(server.conn(srv_conn).state(), TcpState::CloseWait);
+
+        // Server closes too; its final ACK retires it, the client enters
+        // TIME_WAIT and expires 2·MSL later.
+        server.close(srv_conn);
+        pump(&mut client, &mut server, &mut now);
+        assert!(server.drain_events().contains(&SockEvent::Closed(srv_conn)));
+        assert!(client.drain_events().contains(&SockEvent::PeerClosed(c)));
+        assert_eq!(client.conn(c).state(), TcpState::TimeWait);
+        let deadline = client.next_timer().unwrap();
+        client.on_timer(deadline);
+        assert!(client.drain_events().contains(&SockEvent::Closed(c)));
+        assert!(client.conn(c).is_closed());
+
+        // A fresh SYN on the server's finished flow key replaces the stale
+        // incarnation in place (TIME_WAIT/CLOSED reuse).
+        let mut client2 = TcpStack::new(TcpConfig::default());
+        let c2 = client2.connect(flow(40_010));
+        pump(&mut client2, &mut server, &mut now);
+        let evs = server.drain_events();
+        assert!(evs.contains(&SockEvent::Accepted {
+            conn: srv_conn,
+            port: 7000
+        }));
+        assert!(client2.drain_events().contains(&SockEvent::Connected(c2)));
+        assert!(server.conn(srv_conn).is_established());
+    }
+
+    #[test]
+    fn abort_resets_the_peer() {
+        let mut client = TcpStack::new(TcpConfig::default());
+        let mut server = TcpStack::new(TcpConfig::default());
+        server.listen(7000);
+        let c = client.connect(flow(40_011));
+        let mut now = 0;
+        pump(&mut client, &mut server, &mut now);
+        let srv_conn = server
+            .drain_events()
+            .iter()
+            .find_map(|e| match e {
+                SockEvent::Accepted { conn, .. } => Some(*conn),
+                _ => None,
+            })
+            .unwrap();
+        client.abort(c);
+        pump(&mut client, &mut server, &mut now);
+        assert!(server.drain_events().contains(&SockEvent::Reset(srv_conn)));
+        assert!(server.conn(srv_conn).is_closed());
+        assert!(client.conn(c).is_closed());
+    }
+
+    #[test]
+    fn ecn_negotiates_through_the_stack() {
+        let cfg = TcpConfig {
+            ecn: true,
+            ..TcpConfig::default()
+        };
+        let mut client = TcpStack::new(cfg);
+        let mut server = TcpStack::new(cfg);
+        server.listen(7000);
+        let c = client.connect(flow(40_012));
+        let mut now = 0;
+        pump(&mut client, &mut server, &mut now);
+        let srv_conn = server
+            .drain_events()
+            .iter()
+            .find_map(|e| match e {
+                SockEvent::Accepted { conn, .. } => Some(*conn),
+                _ => None,
+            })
+            .unwrap();
+        assert!(client.conn(c).ecn_active());
+        assert!(server.conn(srv_conn).ecn_active());
+
+        // A non-ECN client against an ECN-capable server: not negotiated.
+        let mut plain = TcpStack::new(TcpConfig::default());
+        let p = plain.connect(flow(40_013));
+        pump(&mut plain, &mut server, &mut now);
+        assert!(!plain.conn(p).ecn_active());
     }
 
     #[test]

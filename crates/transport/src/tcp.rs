@@ -1,27 +1,57 @@
 //! The TCP connection state machine (sans-IO).
 //!
-//! See the crate docs for the implemented subset. Sequence numbers are
-//! 64-bit internally so multi-gigabyte transfers never wrap.
+//! Implements the full RFC 793 lifecycle (both open paths, both close
+//! paths, simultaneous open/close, RST, TIME_WAIT with 2·MSL expiry) plus
+//! loss recovery (NewReno, and SACK scoreboard repair when enabled),
+//! RFC 3168/8257 ECN, and pluggable congestion control ([`crate::cc`]).
+//! Sequence numbers are 64-bit internally so multi-gigabyte transfers
+//! never wrap.
+//!
+//! Everything beyond the original simplified lifecycle is opt-in through
+//! [`TcpConfig`]: with the defaults (`cc = Reno`, `ecn = false`,
+//! `sack = false`, no `close()` call) the connection behaves bit-for-bit
+//! like the pre-refactor implementation — the `reno-cc` feature builds a
+//! lockstep oracle asserting exactly that.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use fastrak_net::flow::FlowKey;
-use fastrak_net::headers::tcp_flags;
-use fastrak_net::packet::MSS;
+use fastrak_net::headers::{ecn, tcp_flags};
+use fastrak_net::packet::{SackBlocks, MSS};
 use fastrak_sim::time::{SimDuration, SimTime};
+
+use crate::cc::{Cc, CcAlgo, CongestionControl};
+use crate::rtt::RttEstimator;
+use crate::sack::Scoreboard;
 
 /// Maximum bytes one (TSO super-)segment may carry.
 pub const TSO_LIMIT: u32 = 65_535 - 54;
 
-/// Connection state.
+/// Connection state (RFC 793 §3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TcpState {
+    /// No connection.
+    Closed,
+    /// Passive open: waiting for a SYN.
+    Listen,
     /// Client sent SYN, waiting for SYN|ACK.
     SynSent,
     /// Server received SYN, sent SYN|ACK, waiting for ACK.
     SynRcvd,
     /// Fully open.
     Established,
+    /// We closed first: FIN sent, waiting for its ACK.
+    FinWait1,
+    /// Our FIN is acknowledged; waiting for the peer's FIN.
+    FinWait2,
+    /// Simultaneous close: FINs crossed, waiting for our FIN's ACK.
+    Closing,
+    /// Peer closed first; the application may still send.
+    CloseWait,
+    /// We closed after the peer: FIN sent, waiting for its ACK.
+    LastAck,
+    /// Both FINs exchanged; lingering 2·MSL to absorb stray segments.
+    TimeWait,
 }
 
 /// Which of the connection's timers fired.
@@ -31,6 +61,8 @@ pub enum TcpTimer {
     Rto,
     /// Delayed-ACK timeout.
     DelAck,
+    /// 2·MSL TIME_WAIT expiry.
+    TimeWait,
 }
 
 /// Tuning knobs, defaulted to Linux-3.5-era behaviour (the paper's kernel).
@@ -55,6 +87,15 @@ pub struct TcpConfig {
     pub max_cwnd: u64,
     /// Send-buffer cap: unsent + in-flight bytes the app may have queued.
     pub send_buf: u64,
+    /// Congestion-control algorithm.
+    pub cc: CcAlgo,
+    /// Negotiate and react to ECN (RFC 3168; per-segment echo when
+    /// `cc = Dctcp`, RFC 8257).
+    pub ecn: bool,
+    /// Advertise and use SACK for loss recovery (RFC 6675, simplified).
+    pub sack: bool,
+    /// Maximum segment lifetime; TIME_WAIT lingers 2·MSL.
+    pub msl: SimDuration,
 }
 
 impl Default for TcpConfig {
@@ -68,6 +109,10 @@ impl Default for TcpConfig {
             ack_every_bytes: 2 * MSS as u64,
             max_cwnd: 768 * 1024,
             send_buf: 4 * 1024 * 1024,
+            cc: CcAlgo::Reno,
+            ecn: false,
+            sack: false,
+            msl: SimDuration::from_secs(30),
         }
     }
 }
@@ -95,6 +140,16 @@ pub struct TcpStats {
     pub bytes_delivered: u64,
     /// Delayed ACKs sent on timer expiry.
     pub delayed_acks: u64,
+    /// Segments retransmitted (fast retransmit, SACK repair, or RTO).
+    pub rtx_segs: u64,
+    /// Segments received carrying a CE mark.
+    pub ecn_ce_rx: u64,
+    /// ACKs received with ECE set (congestion echoed to us as sender).
+    pub ecn_ece_rx: u64,
+    /// Segments we sent with ECE set (echoing congestion as receiver).
+    pub ecn_ece_tx: u64,
+    /// Data segments we sent with CWR set (window-reduction signal).
+    pub ecn_cwr_tx: u64,
 }
 
 /// One segment the connection wants transmitted.
@@ -102,7 +157,7 @@ pub struct TcpStats {
 pub struct SegmentPlan {
     /// Sequence number of the first payload byte.
     pub seq: u64,
-    /// Payload length (0 for pure ACKs and bare SYN).
+    /// Payload length (0 for pure ACKs, bare SYN, FIN, RST).
     pub len: u32,
     /// TCP flags.
     pub flags: u8,
@@ -110,6 +165,11 @@ pub struct SegmentPlan {
     pub ack: u64,
     /// True when this is a retransmission.
     pub is_rtx: bool,
+    /// IP ECN codepoint to stamp on the packet (ECT(0) on data segments
+    /// of ECN-negotiated connections, Not-ECT otherwise).
+    pub ecn: u8,
+    /// SACK blocks to carry (empty unless `TcpConfig::sack`).
+    pub sack: SackBlocks,
 }
 
 /// What happened when a segment was processed.
@@ -119,6 +179,12 @@ pub struct RxOutcome {
     pub delivered: u64,
     /// The connection just became Established.
     pub connected: bool,
+    /// The peer's FIN was consumed: no more data will arrive.
+    pub peer_fin: bool,
+    /// A RST arrived; the connection is dead.
+    pub reset: bool,
+    /// The connection fully closed (LAST_ACK's FIN was acknowledged).
+    pub closed: bool,
 }
 
 /// A TCP connection (one direction pair).
@@ -132,8 +198,7 @@ pub struct TcpConn {
     // --- send side ---
     snd_una: u64,
     snd_nxt: u64,
-    cwnd: f64,
-    ssthresh: f64,
+    cc: Cc,
     /// App writes not yet (fully) transmitted; front may be partially sent.
     write_q: VecDeque<u64>,
     queued_bytes: u64,
@@ -142,18 +207,40 @@ pub struct TcpConn {
     recover: u64,
     /// Segments queued for retransmission: (seq, len).
     rtx_q: VecDeque<(u64, u32)>,
-    /// Highest sequence handed to rtx so we do not double-queue.
+    /// SYN / SYN|ACK emitted (reset by the RTO to re-emit it).
     syn_sent: bool,
+    /// SACK scoreboard (maintained only when `cfg.sack`).
+    scoreboard: Scoreboard,
+
+    // --- close machinery ---
+    /// `close()` was called; emit a FIN once the send queue drains.
+    fin_pending: bool,
+    fin_sent: bool,
+    /// Sequence number our FIN occupies (valid once `fin_sent`).
+    fin_seq: u64,
+    /// Peer FIN seen but not yet consumable (data still missing).
+    rcv_fin_seq: Option<u64>,
+    /// Peer FIN consumed.
+    fin_rcvd: bool,
+    /// `abort()` was called; emit a RST.
+    rst_pending: bool,
+    timewait_deadline: Option<SimTime>,
+
+    // --- ECN ---
+    /// The peer's SYN requested ECN (server side, pre-SYN|ACK).
+    peer_ecn: bool,
+    /// ECN negotiated on this connection.
+    ecn_active: bool,
+    /// Classic ECN receiver: echo ECE until the sender's CWR.
+    ece_latched: bool,
+    /// DCTCP receiver: CE state of the most recent data segment.
+    rcv_ce_state: bool,
+    /// Sender owes the peer a CWR on its next data segment.
+    cwr_pending: bool,
 
     // --- RTT estimation (RFC 6298) ---
-    srtt: Option<f64>,
-    rttvar: f64,
-    rto: SimDuration,
+    rtt: RttEstimator,
     rto_deadline: Option<SimTime>,
-    /// Karn: (seq end, sent at) of the segment currently timed.
-    rtt_probe: Option<(u64, SimTime)>,
-    /// Retransmission invalidates outstanding probes.
-    probe_invalid: bool,
 
     // --- receive side ---
     rcv_nxt: u64,
@@ -175,12 +262,19 @@ impl TcpConn {
     }
 
     /// Create the server side in response to a received SYN; the first
-    /// [`TcpConn::poll_transmit`] emits the SYN|ACK.
+    /// [`TcpConn::poll_transmit`] emits the SYN|ACK. Call
+    /// [`TcpConn::set_peer_ecn_request`] first if the SYN carried ECE|CWR.
     pub fn server(flow: FlowKey, cfg: TcpConfig) -> TcpConn {
         let mut c = TcpConn::new(flow, cfg, TcpState::SynRcvd);
         c.rcv_nxt = 1; // peer's SYN consumed
         c.need_ack_now = true;
         c
+    }
+
+    /// Create a passive listener; it transitions to SynRcvd when a SYN is
+    /// fed to [`TcpConn::on_segment`].
+    pub fn listen(flow: FlowKey, cfg: TcpConfig) -> TcpConn {
+        TcpConn::new(flow, cfg, TcpState::Listen)
     }
 
     fn new(flow: FlowKey, cfg: TcpConfig, state: TcpState) -> TcpConn {
@@ -190,8 +284,7 @@ impl TcpConn {
             cfg,
             snd_una: 0,
             snd_nxt: 0,
-            cwnd: (cfg.initial_cwnd_segs * cfg.mss) as f64,
-            ssthresh: f64::MAX,
+            cc: Cc::new(cfg.cc, (cfg.initial_cwnd_segs * cfg.mss) as f64),
             write_q: VecDeque::new(),
             queued_bytes: 0,
             dup_acks: 0,
@@ -199,12 +292,21 @@ impl TcpConn {
             recover: 0,
             rtx_q: VecDeque::new(),
             syn_sent: false,
-            srtt: None,
-            rttvar: 0.0,
-            rto: SimDuration::from_millis(200),
+            scoreboard: Scoreboard::default(),
+            fin_pending: false,
+            fin_sent: false,
+            fin_seq: 0,
+            rcv_fin_seq: None,
+            fin_rcvd: false,
+            rst_pending: false,
+            timewait_deadline: None,
+            peer_ecn: false,
+            ecn_active: false,
+            ece_latched: false,
+            rcv_ce_state: false,
+            cwr_pending: false,
+            rtt: RttEstimator::new(cfg.min_rto),
             rto_deadline: None,
-            rtt_probe: None,
-            probe_invalid: false,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
             segs_since_ack: 0,
@@ -225,24 +327,44 @@ impl TcpConn {
         self.state == TcpState::Established
     }
 
-    /// Bytes in flight (sent, unacknowledged).
+    /// Fully closed (all resources reclaimable)?
+    pub fn is_closed(&self) -> bool {
+        self.state == TcpState::Closed
+    }
+
+    /// The configured congestion-control algorithm.
+    pub fn cc_algo(&self) -> CcAlgo {
+        self.cfg.cc
+    }
+
+    /// Did ECN negotiation succeed on this connection?
+    pub fn ecn_active(&self) -> bool {
+        self.ecn_active
+    }
+
+    /// Server side: record whether the peer's SYN requested ECN (ECE|CWR).
+    pub fn set_peer_ecn_request(&mut self, requested: bool) {
+        self.peer_ecn = requested;
+    }
+
+    /// Bytes in flight (sent, unacknowledged; includes a sent FIN).
     pub fn flight(&self) -> u64 {
         self.snd_nxt - self.snd_una
     }
 
     /// Current congestion window in bytes.
     pub fn cwnd(&self) -> u64 {
-        self.cwnd as u64
+        self.cc.cwnd() as u64
     }
 
     /// Effective send window: cwnd clamped by the receive-window stand-in.
     pub fn effective_wnd(&self) -> u64 {
-        (self.cwnd as u64).min(self.cfg.max_cwnd)
+        (self.cc.cwnd() as u64).min(self.cfg.max_cwnd)
     }
 
     /// Current smoothed RTT estimate, if sampled.
     pub fn srtt(&self) -> Option<SimDuration> {
-        self.srtt.map(SimDuration::from_secs_f64)
+        self.rtt.srtt().map(SimDuration::from_secs_f64)
     }
 
     /// Unsent bytes buffered from the application.
@@ -257,10 +379,32 @@ impl TcpConn {
             .saturating_sub(self.queued_bytes + self.flight())
     }
 
+    /// Highest sequence occupied by *data* (a sent FIN sits above this).
+    fn data_nxt(&self) -> u64 {
+        if self.fin_sent {
+            self.fin_seq
+        } else {
+            self.snd_nxt
+        }
+    }
+
     /// Queue an application write of `bytes` (its boundary is preserved:
     /// these bytes never share a segment with another write).
-    /// Returns false (rejecting the write) when the send buffer is full.
+    /// Returns false (rejecting the write) when the send buffer is full or
+    /// the send side has already been closed.
     pub fn app_send(&mut self, bytes: u64) -> bool {
+        if matches!(
+            self.state,
+            TcpState::FinWait1
+                | TcpState::FinWait2
+                | TcpState::Closing
+                | TcpState::LastAck
+                | TcpState::TimeWait
+                | TcpState::Closed
+                | TcpState::Listen
+        ) {
+            return false;
+        }
         if bytes == 0 || bytes > self.send_buf_space() {
             return bytes == 0;
         }
@@ -269,14 +413,64 @@ impl TcpConn {
         true
     }
 
+    /// Close the send side (active close). Queued data (and then a FIN)
+    /// still drain via [`TcpConn::poll_transmit`].
+    pub fn close(&mut self) {
+        match self.state {
+            TcpState::Established | TcpState::SynRcvd => {
+                self.state = TcpState::FinWait1;
+                self.fin_pending = true;
+            }
+            TcpState::CloseWait => {
+                self.state = TcpState::LastAck;
+                self.fin_pending = true;
+            }
+            TcpState::SynSent | TcpState::Listen => self.enter_closed(),
+            _ => {}
+        }
+    }
+
+    /// Abort the connection: discard all state and emit a RST.
+    pub fn abort(&mut self) {
+        if !matches!(self.state, TcpState::Closed | TcpState::Listen) {
+            self.rst_pending = true;
+        }
+        self.enter_closed();
+    }
+
+    fn enter_closed(&mut self) {
+        self.state = TcpState::Closed;
+        self.rto_deadline = None;
+        self.delack_deadline = None;
+        self.timewait_deadline = None;
+        self.rtx_q.clear();
+        self.write_q.clear();
+        self.queued_bytes = 0;
+        self.in_recovery = false;
+        self.dup_acks = 0;
+    }
+
+    fn enter_time_wait(&mut self, now: SimTime) {
+        self.state = TcpState::TimeWait;
+        self.rto_deadline = None;
+        self.timewait_deadline = Some(now + self.cfg.msl * 2);
+    }
+
     /// The earliest pending timer deadline.
     pub fn next_timer(&self) -> Option<(SimTime, TcpTimer)> {
-        match (self.rto_deadline, self.delack_deadline) {
-            (Some(r), Some(d)) if d < r => Some((d, TcpTimer::DelAck)),
-            (Some(r), _) => Some((r, TcpTimer::Rto)),
-            (None, Some(d)) => Some((d, TcpTimer::DelAck)),
-            (None, None) => None,
+        let mut best: Option<(SimTime, TcpTimer)> = None;
+        for (deadline, which) in [
+            (self.rto_deadline, TcpTimer::Rto),
+            (self.delack_deadline, TcpTimer::DelAck),
+            (self.timewait_deadline, TcpTimer::TimeWait),
+        ] {
+            if let Some(t) = deadline {
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, which));
+                }
+            }
         }
+        best
     }
 
     /// Handle a timer expiry at `now`. Call [`TcpConn::poll_transmit`]
@@ -299,13 +493,15 @@ impl TcpConn {
                 self.stats.timeouts += 1;
                 // RFC 5681: collapse to one segment, halve ssthresh.
                 let flight = self.flight().max(self.cfg.mss as u64);
-                self.ssthresh = (flight as f64 / 2.0).max((2 * self.cfg.mss) as f64);
-                self.cwnd = self.cfg.mss as f64;
+                self.cc.on_rto(flight, self.cfg.mss);
                 self.dup_acks = 0;
                 self.in_recovery = false;
-                self.rto = (self.rto * 2).min(SimDuration::from_secs(60));
-                self.probe_invalid = true;
+                self.rtt.backoff();
+                self.rtt.invalidate_probe();
                 self.rtx_q.clear();
+                if self.cfg.sack {
+                    self.scoreboard.clear();
+                }
                 if matches!(self.state, TcpState::SynSent | TcpState::SynRcvd) {
                     self.syn_sent = false; // re-emit the SYN / SYN|ACK
                 } else {
@@ -327,10 +523,21 @@ impl TcpConn {
                     self.stats.delayed_acks += 1;
                 }
             }
+            TcpTimer::TimeWait => {
+                let Some(deadline) = self.timewait_deadline else {
+                    return;
+                };
+                if now < deadline {
+                    return;
+                }
+                self.enter_closed();
+            }
         }
     }
 
-    /// Process an incoming segment. Returns what was delivered upward.
+    /// Process an incoming segment (no ECN/SACK metadata — legacy entry
+    /// point; equivalent to [`TcpConn::on_segment_full`] with a clean IP
+    /// codepoint and no SACK blocks).
     pub fn on_segment(
         &mut self,
         now: SimTime,
@@ -339,9 +546,46 @@ impl TcpConn {
         flags: u8,
         len: u64,
     ) -> RxOutcome {
+        self.on_segment_full(now, seq, ack, flags, len, false, SackBlocks::EMPTY)
+    }
+
+    /// Process an incoming segment with its IP-layer CE mark and SACK
+    /// blocks. Returns what was delivered upward.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_segment_full(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        ack: u64,
+        flags: u8,
+        len: u64,
+        ce: bool,
+        sack: SackBlocks,
+    ) -> RxOutcome {
         let mut out = RxOutcome::default();
-        // --- handshake transitions ---
+
+        // --- RST: unconditional teardown (RFC 793 §3.4, simplified) ---
+        if flags & tcp_flags::RST != 0 {
+            if !matches!(self.state, TcpState::Closed | TcpState::Listen) {
+                self.enter_closed();
+                out.reset = true;
+            }
+            return out;
+        }
+
+        // --- lifecycle transitions ---
         match self.state {
+            TcpState::Closed => return out,
+            TcpState::Listen => {
+                if flags & tcp_flags::SYN != 0 && flags & tcp_flags::ACK == 0 {
+                    self.state = TcpState::SynRcvd;
+                    self.rcv_nxt = 1;
+                    self.need_ack_now = true;
+                    self.syn_sent = false;
+                    self.peer_ecn = flags & tcp_flags::ECE != 0 && flags & tcp_flags::CWR != 0;
+                }
+                return out;
+            }
             TcpState::SynSent => {
                 if flags & tcp_flags::SYN != 0 && flags & tcp_flags::ACK != 0 && ack >= 1 {
                     self.rcv_nxt = 1;
@@ -350,7 +594,15 @@ impl TcpConn {
                     self.rto_deadline = None;
                     self.need_ack_now = true;
                     out.connected = true;
-                    self.sample_rtt_on_ack(now, ack);
+                    self.ecn_active = self.cfg.ecn && flags & tcp_flags::ECE != 0;
+                    self.rtt.on_ack(now, ack);
+                } else if flags & tcp_flags::SYN != 0 {
+                    // Simultaneous open: our SYN crossed the peer's.
+                    self.state = TcpState::SynRcvd;
+                    self.rcv_nxt = 1;
+                    self.need_ack_now = true;
+                    self.syn_sent = false; // re-emit as SYN|ACK
+                    self.peer_ecn = flags & tcp_flags::ECE != 0 && flags & tcp_flags::CWR != 0;
                 }
                 return out;
             }
@@ -365,11 +617,28 @@ impl TcpConn {
                     return out;
                 }
             }
-            TcpState::Established => {}
+            TcpState::TimeWait => {
+                if flags & tcp_flags::FIN != 0 {
+                    // Peer retransmitted its FIN: re-ACK, restart 2·MSL.
+                    self.need_ack_now = true;
+                    self.timewait_deadline = Some(now + self.cfg.msl * 2);
+                }
+                return out;
+            }
+            // Data-capable states fall through to ACK/data processing.
+            TcpState::Established
+            | TcpState::FinWait1
+            | TcpState::FinWait2
+            | TcpState::Closing
+            | TcpState::CloseWait
+            | TcpState::LastAck => {}
         }
 
         // --- ACK processing (send side) ---
         if flags & tcp_flags::ACK != 0 {
+            if self.cfg.sack {
+                self.scoreboard.on_ack(ack.max(self.snd_una), &sack);
+            }
             if ack > self.snd_una {
                 let acked = ack - self.snd_una;
                 // cwnd validation: only grow when we are actually using the
@@ -377,39 +646,76 @@ impl TcpConn {
                 // cwnd without bound while app- or rwnd-limited. Data still
                 // queued counts as window-limited: the chunked (GSO) sender
                 // holds back whole chunks that do not fit the window.
-                let cwnd_limited = (self.snd_nxt - self.snd_una) as f64 >= 0.9 * self.cwnd
+                let cwnd_limited = (self.snd_nxt - self.snd_una) as f64 >= 0.9 * self.cc.cwnd()
                     || self.queued_bytes > 0
-                    || self.cwnd as u64 >= self.cfg.max_cwnd;
+                    || self.cc.cwnd() as u64 >= self.cfg.max_cwnd;
                 self.stats.bytes_acked += acked;
                 self.snd_una = ack;
-                self.sample_rtt_on_ack(now, ack);
+                self.rtt.on_ack(now, ack);
                 self.dup_acks = 0;
+                // Our FIN is acknowledged once the ACK covers its sequence.
+                if self.fin_sent && ack > self.fin_seq {
+                    match self.state {
+                        TcpState::FinWait1 => self.state = TcpState::FinWait2,
+                        TcpState::Closing => self.enter_time_wait(now),
+                        TcpState::LastAck => {
+                            self.enter_closed();
+                            out.closed = true;
+                            return out;
+                        }
+                        _ => {}
+                    }
+                }
                 if self.in_recovery {
                     if ack >= self.recover {
                         // Full recovery.
                         self.in_recovery = false;
-                        self.cwnd = self.ssthresh;
+                        self.cc.on_recovery_exit(self.cfg.mss);
                     } else {
-                        // NewReno partial ACK: retransmit the next hole.
-                        let len = ((self.snd_nxt - ack).min(self.cfg.mss as u64)) as u32;
-                        self.rtx_q.push_back((ack, len));
-                        self.cwnd = (self.cwnd - acked as f64 + self.cfg.mss as f64)
-                            .max(self.cfg.mss as f64);
+                        // Partial ACK: retransmit the next hole — the first
+                        // unSACKed gap when the scoreboard knows it, the
+                        // NewReno guess otherwise.
+                        if self.cfg.sack {
+                            if let Some((seq, len)) = self.scoreboard.next_hole(
+                                self.snd_una,
+                                self.data_nxt(),
+                                self.cfg.mss,
+                            ) {
+                                self.rtx_q.push_back((seq, len));
+                            }
+                        } else {
+                            let len = ((self.snd_nxt - ack).min(self.cfg.mss as u64)) as u32;
+                            self.rtx_q.push_back((ack, len));
+                        }
+                        self.cc.on_partial_ack(acked, self.cfg.mss);
                     }
-                } else if self.cwnd as u64 >= self.cfg.max_cwnd {
+                } else if self.cc.cwnd() as u64 >= self.cfg.max_cwnd {
                     // rwnd-clamped: hold.
                 } else if !cwnd_limited {
                     // Application-limited: hold (cwnd validation).
-                } else if self.cwnd < self.ssthresh {
-                    // Slow start.
-                    self.cwnd += acked as f64;
                 } else {
-                    // Congestion avoidance: +MSS per RTT, approximated per ACK.
-                    self.cwnd += (self.cfg.mss as f64 * self.cfg.mss as f64) / self.cwnd;
+                    self.cc.on_ack(now, acked, self.rtt.srtt(), self.cfg.mss);
+                }
+                if self.ecn_active {
+                    let ece = flags & tcp_flags::ECE != 0;
+                    if ece {
+                        self.stats.ecn_ece_rx += 1;
+                    }
+                    if self.cc.on_ecn_ack(
+                        now,
+                        acked,
+                        ece,
+                        self.flight(),
+                        self.snd_una,
+                        self.snd_nxt,
+                        self.cfg.mss,
+                    ) {
+                        self.cwr_pending = true;
+                    }
                 }
                 // Re-arm or clear RTO.
                 if self.flight() > 0 {
-                    self.rto_deadline = Some(now + self.rto);
+                    self.rto_deadline = Some(now + self.rtt.rto());
                 } else {
                     self.rto_deadline = None;
                 }
@@ -418,23 +724,65 @@ impl TcpConn {
                 self.stats.dup_acks_rx += 1;
                 self.dup_acks += 1;
                 if self.in_recovery {
-                    self.cwnd += self.cfg.mss as f64; // inflate
+                    self.cc.on_recovery_dup_ack(self.cfg.mss); // inflate
+                    if self.cfg.sack {
+                        // Each dup ACK may have revealed a further hole.
+                        if let Some((seq, len)) =
+                            self.scoreboard
+                                .next_hole(self.snd_una, self.data_nxt(), self.cfg.mss)
+                        {
+                            self.rtx_q.push_back((seq, len));
+                        }
+                    }
                 } else if self.dup_acks == 3 {
                     // Fast retransmit + enter recovery.
                     self.stats.fast_retransmits += 1;
                     self.in_recovery = true;
                     self.recover = self.snd_nxt;
-                    self.ssthresh = (self.flight() as f64 / 2.0).max((2 * self.cfg.mss) as f64);
-                    self.cwnd = self.ssthresh + (3 * self.cfg.mss) as f64;
-                    let len = ((self.snd_nxt - self.snd_una).min(self.cfg.mss as u64)) as u32;
-                    self.rtx_q.push_back((self.snd_una, len));
-                    self.probe_invalid = true;
+                    self.cc.on_loss(self.flight(), self.cfg.mss);
+                    if self.cfg.sack {
+                        self.scoreboard.start_recovery(self.snd_una);
+                        if let Some((seq, len)) =
+                            self.scoreboard
+                                .next_hole(self.snd_una, self.data_nxt(), self.cfg.mss)
+                        {
+                            self.rtx_q.push_back((seq, len));
+                        } else {
+                            let len =
+                                ((self.snd_nxt - self.snd_una).min(self.cfg.mss as u64)) as u32;
+                            self.rtx_q.push_back((self.snd_una, len));
+                        }
+                    } else {
+                        let len = ((self.snd_nxt - self.snd_una).min(self.cfg.mss as u64)) as u32;
+                        self.rtx_q.push_back((self.snd_una, len));
+                    }
+                    self.rtt.invalidate_probe();
                 }
             }
         }
 
+        // CWR from the sender: stop echoing ECE (classic-ECN receiver).
+        if flags & tcp_flags::CWR != 0 {
+            self.ece_latched = false;
+        }
+
         // --- data processing (receive side) ---
         if len > 0 {
+            if ce {
+                self.stats.ecn_ce_rx += 1;
+            }
+            if self.ecn_active {
+                if matches!(self.cfg.cc, CcAlgo::Dctcp) {
+                    // DCTCP receiver (RFC 8257 §3.2): echo the exact CE
+                    // state; ack immediately when it changes.
+                    if ce != self.rcv_ce_state {
+                        self.rcv_ce_state = ce;
+                        self.need_ack_now = true;
+                    }
+                } else if ce {
+                    self.ece_latched = true;
+                }
+            }
             let seg_end = seq + len;
             if seg_end <= self.rcv_nxt {
                 // Entirely old: ack it again.
@@ -473,54 +821,125 @@ impl TcpConn {
                 self.need_ack_now = true;
             }
         }
+
+        // --- peer FIN ---
+        if flags & tcp_flags::FIN != 0 {
+            if self.fin_rcvd {
+                // FIN retransmission: re-ACK it.
+                self.need_ack_now = true;
+            } else if matches!(
+                self.state,
+                TcpState::Established
+                    | TcpState::FinWait1
+                    | TcpState::FinWait2
+                    | TcpState::CloseWait
+                    | TcpState::Closing
+            ) {
+                self.rcv_fin_seq = Some(seq + len);
+            }
+        }
+        if !self.fin_rcvd {
+            if let Some(fs) = self.rcv_fin_seq {
+                if self.rcv_nxt == fs {
+                    // All data before the FIN is in: consume it.
+                    self.fin_rcvd = true;
+                    self.rcv_nxt = fs + 1;
+                    self.need_ack_now = true;
+                    out.peer_fin = true;
+                    match self.state {
+                        TcpState::Established => self.state = TcpState::CloseWait,
+                        TcpState::FinWait1 => self.state = TcpState::Closing,
+                        TcpState::FinWait2 => self.enter_time_wait(now),
+                        _ => {}
+                    }
+                } else if flags & tcp_flags::FIN != 0 {
+                    // FIN ahead of missing data: dup-ack for the hole.
+                    self.need_ack_now = true;
+                }
+            }
+        }
         out
     }
 
-    fn sample_rtt_on_ack(&mut self, now: SimTime, ack: u64) {
-        if let Some((seq_end, sent_at)) = self.rtt_probe {
-            if ack >= seq_end {
-                if !self.probe_invalid {
-                    let rtt = now.since(sent_at).as_secs_f64();
-                    match self.srtt {
-                        None => {
-                            self.srtt = Some(rtt);
-                            self.rttvar = rtt / 2.0;
-                        }
-                        Some(srtt) => {
-                            self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - rtt).abs();
-                            self.srtt = Some(0.875 * srtt + 0.125 * rtt);
-                        }
-                    }
-                    let rto = SimDuration::from_secs_f64(
-                        self.srtt.unwrap() + (4.0 * self.rttvar).max(0.000_001),
-                    );
-                    self.rto = rto.max(self.cfg.min_rto);
+    /// ECE to carry on outgoing segments (receiver-side congestion echo).
+    fn echo_flags(&self) -> u8 {
+        let echo = if matches!(self.cfg.cc, CcAlgo::Dctcp) {
+            self.rcv_ce_state
+        } else {
+            self.ece_latched
+        };
+        if self.ecn_active && echo {
+            tcp_flags::ECE
+        } else {
+            0
+        }
+    }
+
+    /// SACK blocks describing the out-of-order buffer (≤ 3, coalesced).
+    fn sack_blocks(&self) -> SackBlocks {
+        if !self.cfg.sack || self.ooo.is_empty() {
+            return SackBlocks::EMPTY;
+        }
+        let mut blocks = SackBlocks::EMPTY;
+        let mut cur: Option<(u64, u64)> = None;
+        for (&s, &l) in &self.ooo {
+            let e = s + l;
+            match cur {
+                Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    blocks.push(cs, ce);
+                    cur = Some((s, e));
                 }
-                self.rtt_probe = None;
-                self.probe_invalid = false;
+                None => cur = Some((s, e)),
             }
         }
+        if let Some((cs, ce)) = cur {
+            blocks.push(cs, ce);
+        }
+        blocks
     }
 
     /// Produce the next segment to transmit, if any. `seg_limit` caps the
     /// payload (pass [`TSO_LIMIT`] on offload-capable paths, the MSS
     /// otherwise). Returns `None` when there is nothing to send.
     pub fn poll_transmit(&mut self, now: SimTime, seg_limit: u32) -> Option<SegmentPlan> {
+        // A pending RST preempts everything (abort() already closed us).
+        if self.rst_pending {
+            self.rst_pending = false;
+            return Some(SegmentPlan {
+                seq: self.snd_nxt,
+                len: 0,
+                flags: tcp_flags::RST | tcp_flags::ACK,
+                ack: self.rcv_nxt,
+                is_rtx: false,
+                ecn: 0,
+                sack: SackBlocks::EMPTY,
+            });
+        }
+
         // Handshake segments first.
         match self.state {
+            TcpState::Closed | TcpState::Listen => return None,
             TcpState::SynSent => {
                 if self.syn_sent {
                     return None;
                 }
                 self.syn_sent = true;
                 self.snd_nxt = 1;
-                self.rto_deadline = Some(now + self.rto);
+                self.rto_deadline = Some(now + self.rtt.rto());
+                let mut flags = tcp_flags::SYN;
+                if self.cfg.ecn {
+                    // RFC 3168 §6.1.1: ECN-setup SYN carries ECE|CWR.
+                    flags |= tcp_flags::ECE | tcp_flags::CWR;
+                }
                 return Some(SegmentPlan {
                     seq: 0,
                     len: 0,
-                    flags: tcp_flags::SYN,
+                    flags,
                     ack: 0,
                     is_rtx: false,
+                    ecn: 0,
+                    sack: SackBlocks::EMPTY,
                 });
             }
             TcpState::SynRcvd => {
@@ -529,17 +948,47 @@ impl TcpConn {
                 }
                 self.syn_sent = true;
                 self.snd_nxt = 1;
-                self.rto_deadline = Some(now + self.rto);
+                self.rto_deadline = Some(now + self.rtt.rto());
                 self.clear_ack_state();
+                let mut flags = tcp_flags::SYN | tcp_flags::ACK;
+                if self.cfg.ecn && self.peer_ecn {
+                    // ECN-setup SYN|ACK: agree with ECE alone.
+                    flags |= tcp_flags::ECE;
+                    self.ecn_active = true;
+                }
                 return Some(SegmentPlan {
                     seq: 0,
                     len: 0,
-                    flags: tcp_flags::SYN | tcp_flags::ACK,
+                    flags,
                     ack: self.rcv_nxt,
                     is_rtx: false,
+                    ecn: 0,
+                    sack: SackBlocks::EMPTY,
                 });
             }
-            TcpState::Established => {}
+            TcpState::TimeWait => {
+                // Only re-ACKs of a retransmitted peer FIN leave TIME_WAIT.
+                if self.need_ack_now {
+                    self.clear_ack_state();
+                    self.stats.acks_tx += 1;
+                    return Some(SegmentPlan {
+                        seq: self.snd_nxt,
+                        len: 0,
+                        flags: tcp_flags::ACK,
+                        ack: self.rcv_nxt,
+                        is_rtx: false,
+                        ecn: 0,
+                        sack: SackBlocks::EMPTY,
+                    });
+                }
+                return None;
+            }
+            TcpState::Established
+            | TcpState::FinWait1
+            | TcpState::FinWait2
+            | TcpState::Closing
+            | TcpState::CloseWait
+            | TcpState::LastAck => {}
         }
 
         // Retransmissions take priority.
@@ -547,18 +996,47 @@ impl TcpConn {
             // The hole may already be acked.
             if seq >= self.snd_una || seq + len as u64 > self.snd_una {
                 let seq = seq.max(self.snd_una);
-                if seq < self.snd_nxt {
-                    let len = (len as u64).min(self.snd_nxt - seq) as u32;
+                if self.fin_sent && seq >= self.fin_seq {
+                    if seq < self.snd_nxt {
+                        // Only the FIN remains outstanding: retransmit it.
+                        self.stats.rtx_segs += 1;
+                        self.rto_deadline = Some(now + self.rtt.rto());
+                        self.rtt.invalidate_probe();
+                        self.clear_ack_state();
+                        return Some(SegmentPlan {
+                            seq: self.fin_seq,
+                            len: 0,
+                            flags: tcp_flags::FIN | tcp_flags::ACK,
+                            ack: self.rcv_nxt,
+                            is_rtx: true,
+                            ecn: 0,
+                            sack: self.sack_blocks(),
+                        });
+                    }
+                } else if seq < self.snd_nxt {
+                    let len = (len as u64).min(self.data_nxt() - seq) as u32;
                     self.stats.segs_tx += 1;
-                    self.rto_deadline = Some(now + self.rto);
-                    self.probe_invalid = true;
+                    self.stats.rtx_segs += 1;
+                    self.rto_deadline = Some(now + self.rtt.rto());
+                    self.rtt.invalidate_probe();
                     self.clear_ack_state();
+                    let mut flags = tcp_flags::ACK | tcp_flags::PSH | self.echo_flags();
+                    if self.cwr_pending {
+                        flags |= tcp_flags::CWR;
+                        self.cwr_pending = false;
+                        self.stats.ecn_cwr_tx += 1;
+                    }
+                    if flags & tcp_flags::ECE != 0 {
+                        self.stats.ecn_ece_tx += 1;
+                    }
                     return Some(SegmentPlan {
                         seq,
                         len,
-                        flags: tcp_flags::ACK | tcp_flags::PSH,
+                        flags,
                         ack: self.rcv_nxt,
                         is_rtx: true,
+                        ecn: if self.ecn_active { ecn::ECT0 } else { 0 },
+                        sack: self.sack_blocks(),
                     });
                 }
             }
@@ -568,7 +1046,8 @@ impl TcpConn {
         // accumulation (and avoid sliver segments when running right at the
         // window), a chunk is only emitted once the window has room for the
         // whole of it — unless nothing is in flight, where we send whatever
-        // fits to keep the connection moving.
+        // fits to keep the connection moving. (CloseWait/FinWait1/Closing/
+        // LastAck still drain data queued before the close.)
         if let Some(&front) = self.write_q.front() {
             let wnd = self.effective_wnd();
             let budget = wnd.saturating_sub(self.flight());
@@ -587,33 +1066,72 @@ impl TcpConn {
                     let seq = self.snd_nxt;
                     self.snd_nxt += take;
                     self.stats.segs_tx += 1;
-                    if self.rtt_probe.is_none() {
-                        self.rtt_probe = Some((self.snd_nxt, now));
-                        self.probe_invalid = false;
-                    }
-                    self.rto_deadline.get_or_insert(now + self.rto);
+                    self.rtt.arm_probe(self.snd_nxt, now);
+                    self.rto_deadline.get_or_insert(now + self.rtt.rto());
                     self.clear_ack_state();
+                    let mut flags = tcp_flags::ACK | tcp_flags::PSH | self.echo_flags();
+                    if self.cwr_pending {
+                        flags |= tcp_flags::CWR;
+                        self.cwr_pending = false;
+                        self.stats.ecn_cwr_tx += 1;
+                    }
+                    if flags & tcp_flags::ECE != 0 {
+                        self.stats.ecn_ece_tx += 1;
+                    }
                     return Some(SegmentPlan {
                         seq,
                         len: take as u32,
-                        flags: tcp_flags::ACK | tcp_flags::PSH,
+                        flags,
                         ack: self.rcv_nxt,
                         is_rtx: false,
+                        ecn: if self.ecn_active { ecn::ECT0 } else { 0 },
+                        sack: self.sack_blocks(),
                     });
                 }
             }
+        }
+
+        // FIN once the send queue has drained.
+        if self.fin_pending
+            && !self.fin_sent
+            && self.write_q.is_empty()
+            && matches!(
+                self.state,
+                TcpState::FinWait1 | TcpState::Closing | TcpState::LastAck
+            )
+        {
+            self.fin_sent = true;
+            self.fin_seq = self.snd_nxt;
+            self.snd_nxt += 1; // the FIN occupies one sequence number
+            self.rto_deadline.get_or_insert(now + self.rtt.rto());
+            self.clear_ack_state();
+            return Some(SegmentPlan {
+                seq: self.fin_seq,
+                len: 0,
+                flags: tcp_flags::FIN | tcp_flags::ACK,
+                ack: self.rcv_nxt,
+                is_rtx: false,
+                ecn: 0,
+                sack: self.sack_blocks(),
+            });
         }
 
         // Pure ACK if one is owed.
         if self.need_ack_now {
             self.clear_ack_state();
             self.stats.acks_tx += 1;
+            let flags = tcp_flags::ACK | self.echo_flags();
+            if flags & tcp_flags::ECE != 0 {
+                self.stats.ecn_ece_tx += 1;
+            }
             return Some(SegmentPlan {
                 seq: self.snd_nxt,
                 len: 0,
-                flags: tcp_flags::ACK,
+                flags,
                 ack: self.rcv_nxt,
                 is_rtx: false,
+                ecn: 0,
+                sack: self.sack_blocks(),
             });
         }
         None
@@ -650,13 +1168,21 @@ mod tests {
 
     /// Drive a full handshake between a client and server conn.
     fn establish() -> (TcpConn, TcpConn) {
-        let cfg = TcpConfig::default();
-        let mut c = TcpConn::client(flow(), cfg);
+        establish_cfg(TcpConfig::default(), TcpConfig::default())
+    }
+
+    /// Drive a full handshake with per-side configs (ECN/SACK variants).
+    fn establish_cfg(ccfg: TcpConfig, scfg: TcpConfig) -> (TcpConn, TcpConn) {
+        let mut c = TcpConn::client(flow(), ccfg);
         let syn = c.poll_transmit(t(0), TSO_LIMIT).unwrap();
-        assert_eq!(syn.flags, tcp_flags::SYN);
-        let mut s = TcpConn::server(flow().reverse(), cfg);
+        assert_eq!(syn.flags & tcp_flags::SYN, tcp_flags::SYN);
+        let mut s = TcpConn::server(flow().reverse(), scfg);
+        s.set_peer_ecn_request(syn.flags & tcp_flags::ECE != 0 && syn.flags & tcp_flags::CWR != 0);
         let synack = s.poll_transmit(t(10), TSO_LIMIT).unwrap();
-        assert_eq!(synack.flags, tcp_flags::SYN | tcp_flags::ACK);
+        assert_eq!(
+            synack.flags & (tcp_flags::SYN | tcp_flags::ACK),
+            tcp_flags::SYN | tcp_flags::ACK
+        );
         let out = c.on_segment(t(20), synack.seq, synack.ack, synack.flags, 0);
         assert!(out.connected);
         let ack = c.poll_transmit(t(20), TSO_LIMIT).unwrap();
@@ -670,6 +1196,19 @@ mod tests {
     /// Deliver a plan from `from` to `to`, returning the outcome.
     fn deliver(to: &mut TcpConn, now: SimTime, plan: SegmentPlan) -> RxOutcome {
         to.on_segment(now, plan.seq, plan.ack, plan.flags, plan.len as u64)
+    }
+
+    /// Deliver a plan carrying its ECN codepoint and SACK blocks.
+    fn deliver_full(to: &mut TcpConn, now: SimTime, plan: SegmentPlan, ce: bool) -> RxOutcome {
+        to.on_segment_full(
+            now,
+            plan.seq,
+            plan.ack,
+            plan.flags,
+            plan.len as u64,
+            ce,
+            plan.sack,
+        )
     }
 
     #[test]
@@ -981,5 +1520,449 @@ mod tests {
         // ~200us RTT (100 out + up-to-delack + 50 + 100 back): bounded sane.
         assert!(srtt >= SimDuration::from_micros(150), "srtt {srtt}");
         assert!(srtt <= SimDuration::from_millis(10), "srtt {srtt}");
+    }
+
+    // --- full-lifecycle tests ---
+
+    #[test]
+    fn close_handshake_four_way() {
+        let (mut c, mut s) = establish();
+        c.close();
+        assert_eq!(c.state(), TcpState::FinWait1);
+        assert!(!c.app_send(100), "send after close must be rejected");
+        let fin = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        assert_eq!(fin.flags & tcp_flags::FIN, tcp_flags::FIN);
+        assert_eq!(fin.len, 0);
+        let out = deliver(&mut s, t(110), fin);
+        assert!(out.peer_fin);
+        assert_eq!(s.state(), TcpState::CloseWait);
+        let ack = s.poll_transmit(t(110), TSO_LIMIT).unwrap();
+        deliver(&mut c, t(120), ack);
+        assert_eq!(c.state(), TcpState::FinWait2);
+        // Server closes its side.
+        s.close();
+        assert_eq!(s.state(), TcpState::LastAck);
+        let fin2 = s.poll_transmit(t(130), TSO_LIMIT).unwrap();
+        assert_eq!(fin2.flags & tcp_flags::FIN, tcp_flags::FIN);
+        let out = deliver(&mut c, t(140), fin2);
+        assert!(out.peer_fin);
+        assert_eq!(c.state(), TcpState::TimeWait);
+        let last_ack = c.poll_transmit(t(140), TSO_LIMIT).unwrap();
+        let out = deliver(&mut s, t(150), last_ack);
+        assert!(out.closed);
+        assert_eq!(s.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn simultaneous_close_meets_in_time_wait() {
+        let (mut c, mut s) = establish();
+        c.close();
+        s.close();
+        let fin_c = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        let fin_s = s.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        // FINs cross in flight.
+        deliver(&mut c, t(110), fin_s);
+        deliver(&mut s, t(110), fin_c);
+        assert_eq!(c.state(), TcpState::Closing);
+        assert_eq!(s.state(), TcpState::Closing);
+        let ack_c = c.poll_transmit(t(110), TSO_LIMIT).unwrap();
+        let ack_s = s.poll_transmit(t(110), TSO_LIMIT).unwrap();
+        deliver(&mut c, t(120), ack_s);
+        deliver(&mut s, t(120), ack_c);
+        assert_eq!(c.state(), TcpState::TimeWait);
+        assert_eq!(s.state(), TcpState::TimeWait);
+    }
+
+    #[test]
+    fn time_wait_expires_after_two_msl() {
+        let (mut c, mut s) = establish();
+        c.close();
+        let fin = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        deliver(&mut s, t(110), fin);
+        let ack = s.poll_transmit(t(110), TSO_LIMIT).unwrap();
+        deliver(&mut c, t(120), ack);
+        s.close();
+        let fin2 = s.poll_transmit(t(130), TSO_LIMIT).unwrap();
+        deliver(&mut c, t(140), fin2);
+        assert_eq!(c.state(), TcpState::TimeWait);
+        let (deadline, which) = c.next_timer().unwrap();
+        assert_eq!(which, TcpTimer::TimeWait);
+        assert_eq!(deadline.since(t(140)), SimDuration::from_secs(60)); // 2·MSL
+
+        // Early fire is stale.
+        c.on_timer(t(150), TcpTimer::TimeWait);
+        assert_eq!(c.state(), TcpState::TimeWait);
+        c.on_timer(deadline, TcpTimer::TimeWait);
+        assert_eq!(c.state(), TcpState::Closed);
+    }
+
+    #[test]
+    fn time_wait_reacks_retransmitted_fin() {
+        let (mut c, mut s) = establish();
+        c.close();
+        let fin = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        deliver(&mut s, t(110), fin);
+        let ack = s.poll_transmit(t(110), TSO_LIMIT).unwrap();
+        deliver(&mut c, t(120), ack);
+        s.close();
+        let fin2 = s.poll_transmit(t(130), TSO_LIMIT).unwrap();
+        deliver(&mut c, t(140), fin2);
+        assert_eq!(c.state(), TcpState::TimeWait);
+        let _ = c.poll_transmit(t(140), TSO_LIMIT); // drain the final ACK
+        let (d1, _) = c.next_timer().unwrap();
+        // The final ACK was lost; the peer retransmits its FIN.
+        let out = deliver(&mut c, t(500), fin2);
+        assert!(!out.peer_fin, "FIN already consumed");
+        let re_ack = c.poll_transmit(t(500), TSO_LIMIT).unwrap();
+        assert_eq!(re_ack.flags, tcp_flags::ACK);
+        assert_eq!(re_ack.ack, fin2.seq + 1);
+        // 2·MSL restarted.
+        let (d2, _) = c.next_timer().unwrap();
+        assert!(d2 > d1);
+    }
+
+    #[test]
+    fn rst_tears_down_in_every_data_state() {
+        // Established.
+        let (mut c, _s) = establish();
+        let out = c.on_segment(t(100), 1, 1, tcp_flags::RST, 0);
+        assert!(out.reset);
+        assert_eq!(c.state(), TcpState::Closed);
+        // SynSent.
+        let mut c = TcpConn::client(flow(), TcpConfig::default());
+        let _ = c.poll_transmit(t(0), TSO_LIMIT);
+        let out = c.on_segment(t(10), 0, 1, tcp_flags::RST, 0);
+        assert!(out.reset);
+        assert_eq!(c.state(), TcpState::Closed);
+        // SynRcvd.
+        let mut s = TcpConn::server(flow().reverse(), TcpConfig::default());
+        let _ = s.poll_transmit(t(0), TSO_LIMIT);
+        let out = s.on_segment(t(10), 1, 1, tcp_flags::RST, 0);
+        assert!(out.reset);
+        assert_eq!(s.state(), TcpState::Closed);
+        // FinWait1 and CloseWait.
+        let (mut c, mut s) = establish();
+        c.close();
+        let fin = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        deliver(&mut s, t(110), fin);
+        assert_eq!(s.state(), TcpState::CloseWait);
+        assert!(c.on_segment(t(120), 1, 1, tcp_flags::RST, 0).reset);
+        assert_eq!(c.state(), TcpState::Closed);
+        assert!(s.on_segment(t(120), 1, 1, tcp_flags::RST, 0).reset);
+        assert_eq!(s.state(), TcpState::Closed);
+        // No pending timers survive a reset.
+        assert!(c.next_timer().is_none());
+    }
+
+    #[test]
+    fn abort_emits_rst() {
+        let (mut c, mut s) = establish();
+        c.app_send(1448);
+        let seg = c.poll_transmit(t(100), 1448).unwrap();
+        deliver(&mut s, t(110), seg);
+        c.abort();
+        assert_eq!(c.state(), TcpState::Closed);
+        let rst = c.poll_transmit(t(120), TSO_LIMIT).unwrap();
+        assert_eq!(rst.flags & tcp_flags::RST, tcp_flags::RST);
+        let out = deliver(&mut s, t(130), rst);
+        assert!(out.reset);
+        assert_eq!(s.state(), TcpState::Closed);
+        // Nothing further comes out of a closed conn.
+        assert_eq!(c.poll_transmit(t(140), TSO_LIMIT), None);
+    }
+
+    #[test]
+    fn simultaneous_open_establishes_both_sides() {
+        let cfg = TcpConfig::default();
+        let mut a = TcpConn::client(flow(), cfg);
+        let mut b = TcpConn::client(flow().reverse(), cfg);
+        let syn_a = a.poll_transmit(t(0), TSO_LIMIT).unwrap();
+        let syn_b = b.poll_transmit(t(0), TSO_LIMIT).unwrap();
+        // SYNs cross.
+        deliver(&mut a, t(10), syn_b);
+        deliver(&mut b, t(10), syn_a);
+        assert_eq!(a.state(), TcpState::SynRcvd);
+        assert_eq!(b.state(), TcpState::SynRcvd);
+        let synack_a = a.poll_transmit(t(10), TSO_LIMIT).unwrap();
+        let synack_b = b.poll_transmit(t(10), TSO_LIMIT).unwrap();
+        assert!(deliver(&mut a, t(20), synack_b).connected);
+        assert!(deliver(&mut b, t(20), synack_a).connected);
+        assert!(a.is_established() && b.is_established());
+    }
+
+    #[test]
+    fn listener_accepts_syn() {
+        let cfg = TcpConfig::default();
+        let mut l = TcpConn::listen(flow().reverse(), cfg);
+        assert_eq!(l.state(), TcpState::Listen);
+        assert_eq!(l.poll_transmit(t(0), TSO_LIMIT), None);
+        let mut c = TcpConn::client(flow(), cfg);
+        let syn = c.poll_transmit(t(0), TSO_LIMIT).unwrap();
+        deliver(&mut l, t(10), syn);
+        assert_eq!(l.state(), TcpState::SynRcvd);
+        let synack = l.poll_transmit(t(10), TSO_LIMIT).unwrap();
+        assert!(deliver(&mut c, t(20), synack).connected);
+    }
+
+    #[test]
+    fn fin_retransmits_on_rto() {
+        let (mut c, _s) = establish();
+        c.close();
+        let fin = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        assert_eq!(fin.flags & tcp_flags::FIN, tcp_flags::FIN);
+        // The FIN is lost; the RTO must recover it.
+        let (deadline, which) = c.next_timer().unwrap();
+        assert_eq!(which, TcpTimer::Rto);
+        c.on_timer(deadline, TcpTimer::Rto);
+        assert_eq!(c.stats.timeouts, 1);
+        let rtx = c.poll_transmit(deadline, TSO_LIMIT).unwrap();
+        assert!(rtx.is_rtx);
+        assert_eq!(rtx.flags & tcp_flags::FIN, tcp_flags::FIN);
+        assert_eq!(rtx.seq, fin.seq);
+    }
+
+    #[test]
+    fn data_queued_before_close_flushes_before_fin() {
+        let (mut c, mut s) = establish();
+        c.app_send(1000);
+        c.close();
+        assert_eq!(c.state(), TcpState::FinWait1);
+        let data = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        assert_eq!(data.len, 1000);
+        let fin = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        assert_eq!(fin.flags & tcp_flags::FIN, tcp_flags::FIN);
+        assert_eq!(fin.seq, data.seq + 1000);
+        // Receiver consumes data then FIN.
+        let out = deliver(&mut s, t(110), data);
+        assert_eq!(out.delivered, 1000);
+        let out = deliver(&mut s, t(111), fin);
+        assert!(out.peer_fin);
+        assert_eq!(s.state(), TcpState::CloseWait);
+        // Its cumulative ACK covers data + FIN.
+        let ack = s.poll_transmit(t(111), TSO_LIMIT).unwrap();
+        assert_eq!(ack.ack, fin.seq + 1);
+    }
+
+    #[test]
+    fn half_close_peer_keeps_sending() {
+        let (mut c, mut s) = establish();
+        c.close();
+        let fin = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        deliver(&mut s, t(110), fin);
+        let ack = s.poll_transmit(t(110), TSO_LIMIT).unwrap();
+        deliver(&mut c, t(120), ack);
+        assert_eq!(c.state(), TcpState::FinWait2);
+        // The peer may still send on its half.
+        assert!(s.app_send(2000));
+        let seg = s.poll_transmit(t(130), TSO_LIMIT).unwrap();
+        let out = deliver(&mut c, t(140), seg);
+        assert_eq!(out.delivered, 2000);
+    }
+
+    #[test]
+    fn fin_ahead_of_missing_data_waits_for_the_hole() {
+        let (mut c, mut s) = establish();
+        c.app_send(1000);
+        c.app_send(1000);
+        c.close();
+        let a = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        let b = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        let fin = c.poll_transmit(t(100), TSO_LIMIT).unwrap();
+        // Segment `a` is delayed: deliver b, then FIN, then a.
+        deliver(&mut s, t(110), b);
+        let out = deliver(&mut s, t(111), fin);
+        assert!(!out.peer_fin, "FIN must wait for the data hole");
+        assert_eq!(s.state(), TcpState::Established);
+        let out = deliver(&mut s, t(112), a);
+        assert_eq!(out.delivered, 2000);
+        assert!(out.peer_fin);
+        assert_eq!(s.state(), TcpState::CloseWait);
+    }
+
+    // --- ECN tests ---
+
+    fn ecn_cfg(cc: CcAlgo) -> TcpConfig {
+        TcpConfig {
+            ecn: true,
+            cc,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ecn_negotiates_and_echoes_until_cwr() {
+        let (mut c, mut s) = establish_cfg(ecn_cfg(CcAlgo::Reno), ecn_cfg(CcAlgo::Reno));
+        assert!(c.ecn_active() && s.ecn_active());
+        c.app_send(10 * 1448);
+        let mut segs = Vec::new();
+        while let Some(p) = c.poll_transmit(t(100), 1448) {
+            assert_eq!(p.ecn, ecn::ECT0, "data on ECN conns is ECT(0)");
+            segs.push(p);
+        }
+        // First segment hits a congested queue: CE-marked on arrival.
+        let mut now = 200;
+        let mut ece_seen = false;
+        for (i, seg) in segs.iter().enumerate() {
+            deliver_full(&mut s, t(now), *seg, i == 0);
+            now += 1;
+            while let Some(ack) = s.poll_transmit(t(now), 1448) {
+                if ack.flags & tcp_flags::ECE != 0 {
+                    ece_seen = true;
+                }
+                deliver(&mut c, t(now), ack);
+                now += 1;
+            }
+        }
+        assert_eq!(s.stats.ecn_ce_rx, 1);
+        assert!(ece_seen, "receiver must echo ECE");
+        assert!(c.stats.ecn_ece_rx > 0);
+        // The sender reduced once and owes a CWR on its next data segment.
+        assert!(
+            c.cwnd() < 10 * 1448,
+            "cwnd must shrink on ECE: {}",
+            c.cwnd()
+        );
+        c.app_send(1448);
+        let next = c.poll_transmit(t(now), 1448).unwrap();
+        assert_eq!(next.flags & tcp_flags::CWR, tcp_flags::CWR);
+        assert_eq!(c.stats.ecn_cwr_tx, 1);
+        // CWR clears the receiver's latch: later ACKs drop ECE.
+        deliver_full(&mut s, t(now + 1), next, false);
+        while let Some(ack) = s.poll_transmit(t(now + 1), 1448) {
+            assert_eq!(ack.flags & tcp_flags::ECE, 0, "latch must clear after CWR");
+            deliver(&mut c, t(now + 2), ack);
+        }
+        assert_eq!(c.stats.timeouts, 0, "ECN reacts without loss");
+    }
+
+    #[test]
+    fn ecn_not_negotiated_when_peer_lacks_it() {
+        let (c, s) = establish_cfg(ecn_cfg(CcAlgo::Reno), TcpConfig::default());
+        assert!(!c.ecn_active() && !s.ecn_active());
+        // And plain conns never stamp ECT.
+        let (mut c, _s) = establish();
+        c.app_send(1448);
+        let seg = c.poll_transmit(t(100), 1448).unwrap();
+        assert_eq!(seg.ecn, 0);
+        assert!(!c.ecn_active());
+    }
+
+    #[test]
+    fn dctcp_receiver_echoes_ce_state_per_segment() {
+        let (mut c, mut s) = establish_cfg(ecn_cfg(CcAlgo::Dctcp), ecn_cfg(CcAlgo::Dctcp));
+        c.app_send(4 * 1448);
+        let segs: Vec<_> = std::iter::from_fn(|| c.poll_transmit(t(100), 1448)).collect();
+        assert_eq!(segs.len(), 4);
+        // CE on segment 0 and 1, clean on 2 and 3: the echo must track the
+        // transitions (immediate ACK on each state change).
+        deliver_full(&mut s, t(200), segs[0], true);
+        let a0 = s.poll_transmit(t(200), 1448).unwrap();
+        assert_ne!(a0.flags & tcp_flags::ECE, 0, "CE=1 state echoes ECE");
+        deliver_full(&mut s, t(201), segs[1], true);
+        if let Some(a1) = s.poll_transmit(t(201), 1448) {
+            assert_ne!(a1.flags & tcp_flags::ECE, 0);
+        }
+        deliver_full(&mut s, t(202), segs[2], false);
+        let a2 = s.poll_transmit(t(202), 1448).unwrap();
+        assert_eq!(a2.flags & tcp_flags::ECE, 0, "CE=0 state drops ECE");
+        deliver_full(&mut s, t(203), segs[3], false);
+        assert_eq!(s.stats.ecn_ce_rx, 2);
+    }
+
+    // --- SACK tests ---
+
+    fn sack_cfg() -> TcpConfig {
+        TcpConfig {
+            sack: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sack_recovery_repairs_hole_without_rewalking() {
+        let (mut c, mut s) = establish_cfg(sack_cfg(), sack_cfg());
+        c.app_send(10 * 1448);
+        let mut segs = Vec::new();
+        while let Some(p) = c.poll_transmit(t(100), 1448) {
+            segs.push(p);
+        }
+        assert_eq!(segs.len(), 10);
+        // Drop the first segment; deliver the rest. The dup ACKs carry
+        // SACK blocks describing the received range.
+        let mut now = 200;
+        let mut rtx_count = 0;
+        for seg in segs.iter().skip(1) {
+            deliver_full(&mut s, t(now), *seg, false);
+            now += 1;
+            while let Some(ack) = s.poll_transmit(t(now), 1448) {
+                if ack.ack == 1 {
+                    assert!(!ack.sack.is_empty(), "dup acks must carry SACK blocks");
+                }
+                deliver_full(&mut c, t(now), ack, false);
+                now += 1;
+            }
+            // Drain any retransmissions triggered so far.
+            while let Some(p) = c.poll_transmit(t(now), 1448) {
+                if p.is_rtx {
+                    rtx_count += 1;
+                    assert_eq!(p.seq, 1, "only the real hole is repaired");
+                    assert_eq!(p.len, 1448);
+                    deliver_full(&mut s, t(now), p, false);
+                    now += 1;
+                }
+            }
+        }
+        assert_eq!(
+            rtx_count, 1,
+            "scoreboard must prevent re-retransmitting the same hole"
+        );
+        assert_eq!(c.stats.fast_retransmits, 1);
+        assert_eq!(s.stats.bytes_delivered, 10 * 1448);
+        // Flush the receiver's delayed ACK; the full ACK exits recovery.
+        if let Some((d, w)) = s.next_timer() {
+            s.on_timer(d, w);
+        }
+        while let Some(ack) = s.poll_transmit(t(now + 10_000), 1448) {
+            deliver_full(&mut c, t(now + 10_000), ack, false);
+        }
+        assert_eq!(c.flight(), 0);
+    }
+
+    #[test]
+    fn sack_repairs_two_holes_in_one_recovery() {
+        let (mut c, mut s) = establish_cfg(sack_cfg(), sack_cfg());
+        c.app_send(10 * 1448);
+        let mut segs = Vec::new();
+        while let Some(p) = c.poll_transmit(t(100), 1448) {
+            segs.push(p);
+        }
+        // Drop segments 0 and 4.
+        let mut now = 200;
+        let mut rtx_seqs = Vec::new();
+        for (i, seg) in segs.iter().enumerate() {
+            if i == 0 || i == 4 {
+                continue;
+            }
+            deliver_full(&mut s, t(now), *seg, false);
+            now += 1;
+            while let Some(ack) = s.poll_transmit(t(now), 1448) {
+                deliver_full(&mut c, t(now), ack, false);
+                now += 1;
+            }
+            while let Some(p) = c.poll_transmit(t(now), 1448) {
+                if p.is_rtx {
+                    rtx_seqs.push(p.seq);
+                    deliver_full(&mut s, t(now), p, false);
+                    now += 1;
+                    while let Some(ack) = s.poll_transmit(t(now), 1448) {
+                        deliver_full(&mut c, t(now), ack, false);
+                        now += 1;
+                    }
+                }
+            }
+        }
+        // Both holes repaired, each exactly once, in order.
+        assert_eq!(rtx_seqs, vec![1, 1 + 4 * 1448]);
+        assert_eq!(s.stats.bytes_delivered, 10 * 1448);
     }
 }

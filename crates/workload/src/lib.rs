@@ -13,6 +13,7 @@
 
 pub mod background;
 pub mod composite;
+pub mod incast;
 pub mod memcached;
 pub mod rr;
 pub mod stream;
@@ -21,6 +22,7 @@ pub mod testbed;
 
 pub use background::{Idle, IoZone, Stress};
 pub use composite::Composite;
+pub use incast::{incast_worker, IncastAggregator, IncastConfig, INCAST_PORT};
 pub use memcached::{memcached_server, Memcached, MemslapClient, MemslapConfig, MEMCACHED_PORT};
 pub use rr::{RrClient, RrClientConfig, RrServer, RrServerConfig};
 pub use stream::{FileTransfer, StreamConfig, StreamSender, StreamSink};
@@ -190,6 +192,54 @@ mod tests {
         assert_eq!(app.completed(), 2_000);
         assert!(app.finish_time().is_some());
         assert!(app.latency.quantile(0.99) > app.latency.quantile(0.5));
+    }
+
+    #[test]
+    fn incast_rounds_complete_then_connections_close() {
+        let mut bed = Testbed::build(TestbedConfig {
+            n_servers: 5,
+            ..TestbedConfig::default()
+        });
+        let t = TenantId(1);
+        let mut workers = Vec::new();
+        for i in 0..4usize {
+            let ip = Ip::tenant_vm(i as u16 + 2);
+            bed.add_vm(
+                i + 1,
+                VmSpec::large(format!("w{i}"), t, ip),
+                Box::new(incast_worker(16_000)),
+            );
+            workers.push(ip);
+        }
+        // Short MSL so the test can watch TIME_WAIT expire.
+        let tcp = fastrak_transport::tcp::TcpConfig {
+            msl: SimDuration::from_millis(100),
+            ..Default::default()
+        };
+        let agg = bed.add_vm_tcp(
+            0,
+            VmSpec::large("agg", t, Ip::tenant_vm(1)),
+            Box::new(IncastAggregator::new(IncastConfig {
+                long_flows: 1,
+                ..IncastConfig::fan_in(workers, 16_000, 50)
+            })),
+            tcp,
+        );
+        bed.start();
+        bed.run_until(SimTime::from_secs(3));
+        let app = bed.app::<IncastAggregator>(agg);
+        assert_eq!(app.completed_rounds, 50, "all rounds must complete");
+        assert_eq!(app.fct.count(), 50);
+        assert!(app.finish_time().is_some());
+        assert!(app.fct.quantile(0.99) >= app.fct.quantile(0.5));
+        // Closing the fan-out exercises the full FIN handshake: after the
+        // 2MSL quiet period no connection on the aggregator is left open.
+        bed.run_until(SimTime::from_secs(5));
+        let stack = &bed.server(0).vm(agg.vm).stack;
+        assert!(
+            stack.conn_ids().all(|id| stack.conn(id).is_closed()),
+            "all aggregator connections must reach CLOSED"
+        );
     }
 
     #[test]

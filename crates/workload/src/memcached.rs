@@ -228,7 +228,7 @@ impl GuestApp for MemslapClient {
                 }
                 self.maybe_issue(ci, api);
             }
-            SockEvent::Accepted { .. } => {}
+            _ => {}
         }
     }
 }

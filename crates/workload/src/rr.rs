@@ -197,7 +197,9 @@ impl GuestApp for RrClient {
                 }
                 self.maybe_issue(ci, api);
             }
-            SockEvent::Accepted { .. } => {}
+            // Lifecycle events: these long-lived netperf-style fleets never
+            // close, so teardown notifications need no handling.
+            _ => {}
         }
     }
 }
@@ -246,13 +248,11 @@ impl GuestApp for RrServer {
 
     fn on_event(&mut self, ev: SockEvent, api: &mut GuestApi<'_>) {
         match ev {
-            SockEvent::Accepted { conn, port } => {
-                if port == self.cfg.port {
-                    self.conns.push(SrvConn {
-                        id: conn,
-                        rx_accum: 0,
-                    });
-                }
+            SockEvent::Accepted { conn, port } if port == self.cfg.port => {
+                self.conns.push(SrvConn {
+                    id: conn,
+                    rx_accum: 0,
+                });
             }
             SockEvent::Delivered { conn, bytes } => {
                 let Some(ci) = self.conns.iter().position(|c| c.id == conn) else {
@@ -268,7 +268,15 @@ impl GuestApp for RrServer {
                     self.served += 1;
                 }
             }
-            SockEvent::Connected(_) => {}
+            SockEvent::PeerClosed(conn) => {
+                // EOF from the client: close our half too (any queued
+                // response drains before the FIN).
+                if let Some(ci) = self.conns.iter().position(|c| c.id == conn) {
+                    api.close(conn);
+                    self.conns.swap_remove(ci);
+                }
+            }
+            _ => {}
         }
     }
 

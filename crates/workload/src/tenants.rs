@@ -327,7 +327,7 @@ impl GuestApp for Churner {
                 }
                 self.maybe_issue(ci, api);
             }
-            SockEvent::Accepted { .. } => {}
+            _ => {}
         }
     }
 }
@@ -365,10 +365,10 @@ impl GuestApp for EchoRangeServer {
 
     fn on_event(&mut self, ev: SockEvent, api: &mut GuestApi<'_>) {
         match ev {
-            SockEvent::Accepted { conn, port } => {
-                if (CHURN_PORT_BASE..CHURN_PORT_BASE + self.n_ports).contains(&port) {
-                    self.conns.push((conn, 0));
-                }
+            SockEvent::Accepted { conn, port }
+                if (CHURN_PORT_BASE..CHURN_PORT_BASE + self.n_ports).contains(&port) =>
+            {
+                self.conns.push((conn, 0));
             }
             SockEvent::Delivered { conn, bytes } => {
                 let Some(ci) = self.conns.iter().position(|c| c.0 == conn) else {
@@ -381,7 +381,7 @@ impl GuestApp for EchoRangeServer {
                     self.served += 1;
                 }
             }
-            SockEvent::Connected(_) => {}
+            _ => {}
         }
     }
 

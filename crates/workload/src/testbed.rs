@@ -125,6 +125,23 @@ impl Testbed {
     /// orchestration state (VLAN map, hardware destination, L2 route, and
     /// tunnel mappings on every other server).
     pub fn add_vm(&mut self, server: usize, spec: VmSpec, app: Box<dyn GuestApp>) -> VmRef {
+        self.add_vm_tcp(
+            server,
+            spec,
+            app,
+            fastrak_transport::tcp::TcpConfig::default(),
+        )
+    }
+
+    /// [`Testbed::add_vm`] with an explicit per-VM TCP configuration —
+    /// how experiments select congestion control (CUBIC, DCTCP) and ECN.
+    pub fn add_vm_tcp(
+        &mut self,
+        server: usize,
+        spec: VmSpec,
+        app: Box<dyn GuestApp>,
+        tcp: fastrak_transport::tcp::TcpConfig,
+    ) -> VmRef {
         let tenant = spec.tenant;
         let ip = spec.ip;
         let vlan = tenant_vlan(tenant);
@@ -132,7 +149,7 @@ impl Testbed {
         let vm_idx = self
             .kernel
             .node_mut::<Server>(sid)
-            .add_vm(Vm::new(spec, app), Some(vlan));
+            .add_vm(Vm::with_tcp_config(spec, app, tcp), Some(vlan));
         let home_ip = self.kernel.node::<Server>(sid).cfg.provider_ip;
         let mapping = TunnelMapping {
             server_ip: home_ip,

@@ -518,3 +518,83 @@ fn different_seeds_diverge() {
         "seed does not influence the run — fingerprint may be vacuous"
     );
 }
+
+/// Transport-heavy scenario: DCTCP incast fan-in with ECN marking at the
+/// ToR + NIC queues, SACK enabled, and a full FIN/TIME_WAIT teardown at
+/// the end (the aggregator closes every connection once its rounds are
+/// done). Exercises the complete new transport subsystem end to end.
+/// Under `--features reno-cc` the rest of this suite additionally
+/// shadow-checks every Reno connection against the pre-refactor
+/// implementation on every CC hook.
+fn run_transport_scenario(seed: u64) -> (u64, u64, u64, u64, u64) {
+    use fastrak_transport::cc::CcAlgo;
+    use fastrak_transport::tcp::TcpConfig;
+    use fastrak_workload::{incast_worker, IncastAggregator, IncastConfig};
+
+    let mut bed = Testbed::build(TestbedConfig {
+        n_servers: 3,
+        seed,
+        ..TestbedConfig::default()
+    });
+    bed.kernel.ctx.trace.set_enabled(true);
+    let k = SimDuration::from_micros(60);
+    bed.tor_mut().cfg.ecn_mark_threshold = Some(k);
+    for i in 0..3 {
+        bed.server_mut(i).cfg.ecn_mark_threshold = Some(k);
+    }
+    let tcp = TcpConfig {
+        cc: CcAlgo::Dctcp,
+        ecn: true,
+        sack: true,
+        msl: SimDuration::from_millis(50),
+        ..TcpConfig::default()
+    };
+    let mut workers = Vec::new();
+    for i in 0..8u16 {
+        let ip = Ip::tenant_vm(i + 2);
+        bed.add_vm_tcp(
+            1 + (i as usize) % 2,
+            VmSpec::medium(format!("w{i}"), T, ip),
+            Box::new(incast_worker(16_000)),
+            tcp,
+        );
+        workers.push(ip);
+    }
+    let agg = bed.add_vm_tcp(
+        0,
+        VmSpec::large("agg", T, Ip::tenant_vm(1)),
+        Box::new(IncastAggregator::new(IncastConfig {
+            long_flows: 2,
+            ..IncastConfig::fan_in(workers, 16_000, 300)
+        })),
+        tcp,
+    );
+    bed.start();
+    bed.run_until(SimTime::from_millis(1_500));
+    let marks =
+        bed.tor().stats.ecn_marked + (0..3).map(|i| bed.server(i).stats.ecn_marked).sum::<u64>();
+    let (rounds, p99) = {
+        let app = bed.app::<IncastAggregator>(agg);
+        (app.completed_rounds, app.fct.quantile(0.99))
+    };
+    let records = bed.kernel.ctx.trace.drain();
+    (
+        rounds,
+        p99,
+        marks,
+        records.len() as u64,
+        digest_trace(&records),
+    )
+}
+
+#[test]
+fn transport_incast_scenario_replays_bit_identically() {
+    let a = run_transport_scenario(11);
+    let b = run_transport_scenario(11);
+    assert_eq!(a.0, 300, "all incast rounds must complete: {a:?}");
+    assert!(a.2 > 0, "the ECN feedback loop never marked: {a:?}");
+    assert_eq!(
+        a, b,
+        "transport scenario must be a pure function of its seed"
+    );
+}
